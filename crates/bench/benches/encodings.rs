@@ -1,0 +1,99 @@
+//! E9 — compression encodings: ratio and speed per data shape, and the
+//! automatic analyzer's pick vs the oracle (§2.1's "dusty knob").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redsim_common::{ColumnData, DataType, Value};
+use redsim_storage::analyzer::{analyze_compression, encoding_report};
+use redsim_storage::encoding::{decode_column, encode_column, Encoding};
+
+const ROWS: usize = 50_000;
+
+fn shapes() -> Vec<(&'static str, ColumnData)> {
+    let mut sorted = ColumnData::new(DataType::Int8);
+    let mut runs = ColumnData::new(DataType::Int8);
+    let mut random = ColumnData::new(DataType::Int8);
+    let mut small = ColumnData::new(DataType::Int8);
+    for i in 0..ROWS as i64 {
+        sorted.push_value(&Value::Int8(1_000_000_000 + i * 3)).unwrap();
+        runs.push_value(&Value::Int8(i / 5_000)).unwrap();
+        random
+            .push_value(&Value::Int8((i.wrapping_mul(2_654_435_761)) % 1_000_000_007))
+            .unwrap();
+        small.push_value(&Value::Int8((i * 37) % 100)).unwrap();
+    }
+    let mut urls = ColumnData::new(DataType::Varchar);
+    let mut cats = ColumnData::new(DataType::Varchar);
+    let regions = ["us-east", "us-west", "eu-central", "ap-south"];
+    for i in 0..ROWS {
+        urls.push_value(&Value::Str(format!(
+            "https://www.amazon.com/gp/product/B{:09}/ref=sr_1_{}",
+            i % 5_000,
+            i % 40
+        )))
+        .unwrap();
+        cats.push_value(&Value::Str(regions[i % 4].into())).unwrap();
+    }
+    vec![
+        ("int-sorted", sorted),
+        ("int-runs", runs),
+        ("int-random", random),
+        ("int-small", small),
+        ("text-urls", urls),
+        ("text-lowcard", cats),
+    ]
+}
+
+fn bench_encodings(c: &mut Criterion) {
+    let shapes = shapes();
+
+    // Report table once: sizes per encoding + analyzer pick vs oracle.
+    println!("\nE9 — encoded size (bytes) per encoding; * = analyzer pick, ! = oracle best");
+    for (name, col) in &shapes {
+        let report = encoding_report(col);
+        let pick = analyze_compression(col, 4_096);
+        let best = report.iter().min_by_key(|&&(_, s)| s).map(|&(e, _)| e).unwrap();
+        let cells: Vec<String> = report
+            .iter()
+            .map(|(e, s)| {
+                format!(
+                    "{e}{}{}={s}",
+                    if *e == pick { "*" } else { "" },
+                    if *e == best { "!" } else { "" }
+                )
+            })
+            .collect();
+        println!("  {name:<14} {}", cells.join("  "));
+    }
+
+    let mut g = c.benchmark_group("encode");
+    g.sample_size(10);
+    for (name, col) in &shapes {
+        for enc in [Encoding::Raw, Encoding::Rle, Encoding::Delta, Encoding::Dict, Encoding::Lzss]
+        {
+            if !enc.applicable_to(col.data_type()) {
+                continue;
+            }
+            if encode_column(col, enc).is_err() {
+                continue;
+            }
+            g.bench_with_input(BenchmarkId::new(format!("{enc}"), name), col, |b, col| {
+                b.iter(|| encode_column(col, enc).unwrap());
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decode");
+    g.sample_size(10);
+    for (name, col) in &shapes {
+        let enc = analyze_compression(col, 4_096);
+        let bytes = encode_column(col, enc).unwrap();
+        g.bench_with_input(BenchmarkId::new(format!("{enc}"), name), &bytes, |b, bytes| {
+            b.iter(|| decode_column(bytes, None).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encodings);
+criterion_main!(benches);

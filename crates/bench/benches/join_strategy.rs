@@ -1,0 +1,85 @@
+//! E11 — join distribution strategies: runtime and bytes moved for the
+//! same join under DS_DIST_NONE / DS_BCAST_INNER / DS_DIST_BOTH (§2.1's
+//! co-located join claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redsim_bench::datagen;
+use redsim_core::{Cluster, ClusterConfig};
+use std::sync::Arc;
+
+const CLICKS: usize = 120_000;
+const PRODUCTS: i64 = 8_000;
+
+/// Build one cluster with clicks distributed three ways.
+fn build() -> Arc<Cluster> {
+    let c = Cluster::launch(ClusterConfig::new("e11").nodes(2).slices_per_node(4)).unwrap();
+    // Co-located: both KEYed on product id.
+    c.execute(datagen::CLICKS_DDL).unwrap();
+    c.execute(datagen::PRODUCTS_DDL).unwrap();
+    // EVEN variant of clicks: forces movement.
+    c.execute(
+        "CREATE TABLE clicks_even (user_id BIGINT, product_id BIGINT, ts TIMESTAMP,
+         url VARCHAR(256), bytes BIGINT)",
+    )
+    .unwrap();
+    // ALL variant of products: local copies everywhere.
+    c.execute(
+        "CREATE TABLE products_all (id BIGINT, name VARCHAR(128), category VARCHAR(32),
+         price DECIMAL(10,2)) DISTSTYLE ALL",
+    )
+    .unwrap();
+    let clicks = datagen::clicks(CLICKS, PRODUCTS, 11);
+    for (i, obj) in datagen::clicks_csv(&clicks, 8).into_iter().enumerate() {
+        c.put_s3_object(&format!("c/{i}"), obj.into_bytes());
+    }
+    for (i, obj) in datagen::products_csv(PRODUCTS, 11, 8).into_iter().enumerate() {
+        c.put_s3_object(&format!("p/{i}"), obj.into_bytes());
+    }
+    c.execute("COPY clicks FROM 's3://c/'").unwrap();
+    c.execute("COPY clicks_even FROM 's3://c/'").unwrap();
+    c.execute("COPY products FROM 's3://p/'").unwrap();
+    c.execute("COPY products_all FROM 's3://p/'").unwrap();
+    c.execute("ANALYZE").unwrap();
+    c
+}
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let cluster = build();
+    let cases = [
+        (
+            "DS_DIST_NONE (distkey both)",
+            "SELECT COUNT(*) FROM clicks c JOIN products p ON c.product_id = p.id",
+        ),
+        (
+            "DS_DIST_ALL_NONE (inner ALL)",
+            "SELECT COUNT(*) FROM clicks_even c JOIN products_all p ON c.product_id = p.id",
+        ),
+        (
+            "inner EVEN (planner picks bcast/dist)",
+            "SELECT COUNT(*) FROM clicks_even c JOIN products p ON c.user_id = p.id",
+        ),
+    ];
+
+    println!("\nE11 — bytes moved per strategy:");
+    for (label, sql) in &cases {
+        let r = cluster.query(sql).unwrap();
+        println!(
+            "  {label:<38} bcast={:>12} redist={:>12} plan={}",
+            r.metrics.bytes_broadcast,
+            r.metrics.bytes_redistributed,
+            r.plan.lines().find(|l| l.contains("Join")).unwrap_or("?").trim()
+        );
+    }
+
+    let mut g = c.benchmark_group("join_strategy");
+    g.sample_size(10);
+    for (label, sql) in &cases {
+        g.bench_function(*label, |b| {
+            b.iter(|| cluster.query(sql).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_strategies);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Regenerate every figure and table of the paper into `results/`.
+//!
+//! ```text
+//! cargo run -p redsim-bench --bin figures --release [-- --quick]
+//! ```
+
+use redsim_bench::e1::{self, E1Config};
+use redsim_bench::figures;
+use redsim_bench::report::{fmt_count, fmt_secs, Table};
+use std::path::Path;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = Path::new("results");
+    std::fs::create_dir_all(out).expect("create results/");
+
+    println!("redshift-sim — regenerating paper figures (quick={quick})\n");
+
+    // E2 / Figure 1.
+    let f1 = figures::figure1_gap();
+    print_save(&f1, out, "figure1_data_gap");
+
+    // E3 / Figure 2.
+    let f2 = figures::figure2_admin_ops(2015);
+    print_save(&f2, out, "figure2_admin_ops");
+
+    // E4 / Figure 4 + cadence ablation.
+    let (f4, cadence) = figures::figure4_features(2015);
+    print_save(&f4, out, "figure4_features");
+    print_save(&cadence, out, "figure4_cadence_ablation");
+
+    // E5 / Figure 5.
+    let f5 = figures::figure5_tickets(2015);
+    print_save(&f5, out, "figure5_tickets");
+
+    // E6 provisioning.
+    let e6 = figures::e6_provisioning(2015);
+    print_save(&e6, out, "e6_provisioning");
+
+    // Pricing.
+    let pricing = figures::pricing_table();
+    print_save(&pricing, out, "pricing");
+
+    // §5 escalators: fleet availability under failures.
+    let esc = figures::escalators_table(2015);
+    print_save(&esc, out, "escalators_availability");
+
+    // E12 streaming restore.
+    let e12 = figures::e12_streaming_restore(if quick { 5_000 } else { 40_000 })
+        .expect("E12 run");
+    print_save(&e12, out, "e12_streaming_restore");
+
+    // E1 — the headline workload.
+    let cfg = if quick {
+        E1Config { clicks: 100_000, products: 5_000, nodes: 2, slices_per_node: 2, seed: 2015 }
+    } else {
+        E1Config::default()
+    };
+    let r = e1::run(cfg).expect("E1 run");
+    let mut t = Table::new(
+        "E1 — measured at laptop scale (columnar MPP vs row-store baseline)",
+        &["metric", "value"],
+    );
+    t.row(&["clicks loaded".into(), fmt_count(r.config.clicks as u64)]);
+    t.row(&["COPY wall time".into(), fmt_secs(r.load_secs)]);
+    t.row(&["load rate".into(), format!("{} rows/s", fmt_count(r.load_rows_per_sec as u64))]);
+    t.row(&["MPP join+agg".into(), fmt_secs(r.mpp_join_secs)]);
+    t.row(&[
+        format!("row-store baseline ({} rows)", fmt_count(r.baseline_rows as u64)),
+        fmt_secs(r.baseline_join_secs),
+    ]);
+    t.row(&[
+        "baseline extrapolated to full scale".into(),
+        fmt_secs(r.baseline_join_secs_full_scale),
+    ]);
+    t.row(&["MPP speedup".into(), format!("{:.0}x", r.speedup)]);
+    t.row(&["backup (snapshot)".into(), fmt_secs(r.backup_secs)]);
+    t.row(&["restore: time-to-first-query".into(), fmt_secs(r.restore_ttfq_secs)]);
+    t.row(&["restore: full hydration".into(), fmt_secs(r.restore_full_secs)]);
+    print_save(&t, out, "e1_measured");
+
+    // E1 extrapolated to the paper's scale (128 nodes × 16 slices).
+    let p = e1::extrapolate(&r, 2048.0);
+    let mut t = Table::new(
+        "E1 — extrapolated to paper scale (128 nodes x 16 slices) vs paper claims",
+        &["metric", "paper", "extrapolated"],
+    );
+    t.row(&["daily load, 5B rows".into(), "10min".into(), fmt_secs(p.daily_load_secs)]);
+    t.row(&["backfill, 150B rows".into(), "9.75h".into(), fmt_secs(p.backfill_secs)]);
+    t.row(&["join 2T x 6B rows (MPP)".into(), "< 14min".into(), fmt_secs(p.join_2t_secs)]);
+    t.row(&[
+        "same join, legacy row engine".into(),
+        "> 1 week".into(),
+        fmt_secs(p.baseline_join_2t_secs),
+    ]);
+    t.row(&[
+        "MPP : legacy ratio".into(),
+        "> 720x".into(),
+        format!("{:.0}x", p.baseline_join_2t_secs / p.join_2t_secs),
+    ]);
+    print_save(&t, out, "e1_paper_scale");
+
+    println!("\nAll figures written to {}/", out.display());
+}
+
+fn print_save(t: &Table, dir: &Path, stem: &str) {
+    println!("{}", t.render());
+    t.save(dir, stem).expect("write results");
+}

@@ -1,0 +1,163 @@
+//! Deterministic workload generators.
+//!
+//! The paper's flagship workload (§1): the Amazon retail team's ~5 billion
+//! daily web-log records ("2TB/day") joined against a ~6-billion-row
+//! product-id table. These generators produce the same *shape* at
+//! laptop-scale factors: a click stream keyed by `product_id` with skewed
+//! popularity, URLs with shared prefixes (compressible), timestamps in
+//! load order (delta-friendly), and a product catalog.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// One click-stream record.
+#[derive(Debug, Clone)]
+pub struct Click {
+    pub user_id: i64,
+    pub product_id: i64,
+    pub ts: i64,
+    pub url: String,
+    pub bytes: i64,
+}
+
+/// Generate `n` clicks over `n_products` products with Zipf-ish skew.
+pub fn clicks(n: usize, n_products: i64, seed: u64) -> Vec<Click> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_ts = 1_430_438_400_000_000i64; // 2015-05-01 00:00:00 UTC, µs
+    (0..n)
+        .map(|i| {
+            // Skew: 80% of clicks to the first 20% of products.
+            let product_id = if rng.gen_bool(0.8) {
+                rng.gen_range(0..(n_products / 5).max(1))
+            } else {
+                rng.gen_range(0..n_products)
+            };
+            let user_id = rng.gen_range(0..(n as i64 / 3).max(1));
+            Click {
+                user_id,
+                product_id,
+                // Mostly-monotonic arrival with jitter: delta-friendly.
+                ts: base_ts + (i as i64) * 1_000 + rng.gen_range(0..997),
+                url: format!(
+                    "https://www.amazon.com/gp/product/B{:09}/ref=sr_1_{}",
+                    product_id,
+                    i % 40
+                ),
+                bytes: rng.gen_range(200..4_000),
+            }
+        })
+        .collect()
+}
+
+/// Emit clicks as COPY-ready CSV, split into `parts` objects.
+pub fn clicks_csv(clicks: &[Click], parts: usize) -> Vec<String> {
+    let parts = parts.max(1);
+    let mut out = vec![String::new(); parts];
+    for (i, c) in clicks.iter().enumerate() {
+        let buf = &mut out[i % parts];
+        writeln!(
+            buf,
+            "{},{},{},{},{}",
+            c.user_id,
+            c.product_id,
+            micros_to_ts(c.ts),
+            c.url,
+            c.bytes
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Product-catalog CSV: `id,name,category,price`.
+pub fn products_csv(n: i64, seed: u64, parts: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x70D0);
+    let cats = ["books", "electronics", "toys", "grocery", "apparel", "garden"];
+    let parts = parts.max(1);
+    let mut out = vec![String::new(); parts];
+    for id in 0..n {
+        let buf = &mut out[(id as usize) % parts];
+        writeln!(
+            buf,
+            "{},product {} edition {},{},{}.{:02}",
+            id,
+            id,
+            rng.gen_range(1..5),
+            cats[(id as usize) % cats.len()],
+            rng.gen_range(3..300),
+            rng.gen_range(0..100)
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Render epoch-µs as `YYYY-MM-DD HH:MM:SS` (COPY-parseable).
+pub fn micros_to_ts(us: i64) -> String {
+    redsim_common::Value::Timestamp(us - us % 1_000_000).to_string()
+}
+
+/// DDL for the web-log schema with the co-located layout the paper's
+/// use case wants: both tables distributed on the product id.
+pub const CLICKS_DDL: &str = "CREATE TABLE clicks (
+    user_id BIGINT,
+    product_id BIGINT NOT NULL,
+    ts TIMESTAMP,
+    url VARCHAR(256),
+    bytes BIGINT
+) DISTKEY(product_id) COMPOUND SORTKEY(ts)";
+
+pub const PRODUCTS_DDL: &str = "CREATE TABLE products (
+    id BIGINT NOT NULL,
+    name VARCHAR(128),
+    category VARCHAR(32),
+    price DECIMAL(10,2)
+) DISTKEY(id)";
+
+/// The headline E1 query shape: join the full click stream to the
+/// product table and aggregate.
+pub const E1_JOIN_SQL: &str = "SELECT p.category, COUNT(*) AS clicks, SUM(c.bytes) AS bytes
+ FROM clicks c JOIN products p ON c.product_id = p.id
+ GROUP BY p.category ORDER BY clicks DESC";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = clicks(100, 50, 7);
+        let b = clicks(100, 50, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[17].url, b[17].url);
+        assert_eq!(a[17].ts, b[17].ts);
+    }
+
+    #[test]
+    fn skew_present() {
+        let cs = clicks(10_000, 1_000, 1);
+        let hot = cs.iter().filter(|c| c.product_id < 200).count();
+        assert!(hot > 7_000, "80/20 skew: {hot}");
+    }
+
+    #[test]
+    fn csv_parses_back() {
+        let cs = clicks(50, 10, 2);
+        let parts = clicks_csv(&cs, 3);
+        assert_eq!(parts.len(), 3);
+        let total_lines: usize = parts.iter().map(|p| p.lines().count()).sum();
+        assert_eq!(total_lines, 50);
+        // Fields split cleanly on commas (URLs contain no commas).
+        for line in parts[0].lines() {
+            assert_eq!(line.split(',').count(), 5, "{line}");
+        }
+    }
+
+    #[test]
+    fn products_cover_all_ids() {
+        let parts = products_csv(100, 3, 4);
+        let total: usize = parts.iter().map(|p| p.lines().count()).sum();
+        assert_eq!(total, 100);
+    }
+}

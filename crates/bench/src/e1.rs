@@ -1,0 +1,315 @@
+//! E1 — the paper's headline numbers (§1).
+//!
+//! The Amazon Enterprise Data Warehouse workload: "perform their daily
+//! load (5B rows) in 10 minutes, load a month of backfill data (150B
+//! rows) in 9.75 hours, take a backup in 30 minutes … run queries that
+//! joined 2 trillion rows of click traffic with 6 billion rows of product
+//! ids in less than 14 minutes, an operation that didn't complete in over
+//! a week on their existing systems."
+//!
+//! We run the same workload *shape* at a laptop scale factor on the real
+//! engine (columnar MPP vs the row-store baseline), measure throughput
+//! per slice, and extrapolate linearly to the paper's cluster/data scale
+//! (the substitution documented in DESIGN.md §5). The claim under test is
+//! the *shape*: the columnar MPP engine wins by orders of magnitude, and
+//! its throughput scales with slices.
+
+use crate::datagen;
+use redsim_core::{Cluster, ClusterConfig};
+use redsim_engine::baseline::{self, RowStore};
+use redsim_replication::SnapshotKind;
+use redsim_sql::catalog::StaticCatalog;
+use redsim_sql::{optimizer, Binder, Statement};
+use std::time::Instant;
+
+/// Scale and cluster shape for an E1 run.
+#[derive(Debug, Clone)]
+pub struct E1Config {
+    pub clicks: usize,
+    pub products: i64,
+    pub nodes: u32,
+    pub slices_per_node: u32,
+    pub seed: u64,
+}
+
+impl Default for E1Config {
+    fn default() -> Self {
+        E1Config { clicks: 400_000, products: 20_000, nodes: 2, slices_per_node: 4, seed: 2015 }
+    }
+}
+
+/// Measured results at the run's scale factor.
+#[derive(Debug, Clone)]
+pub struct E1Results {
+    pub config: E1Config,
+    /// COPY wall time (seconds) and derived rows/second.
+    pub load_secs: f64,
+    pub load_rows_per_sec: f64,
+    /// Columnar MPP join+aggregate (seconds).
+    pub mpp_join_secs: f64,
+    /// Row-store baseline join+aggregate at `baseline_rows` rows.
+    pub baseline_join_secs: f64,
+    pub baseline_rows: usize,
+    /// Baseline extrapolated to the full run scale (linear in rows).
+    pub baseline_join_secs_full_scale: f64,
+    /// MPP speedup over the (extrapolated) baseline at equal row counts.
+    pub speedup: f64,
+    /// Snapshot wall time + time-to-first-query on a streaming restore.
+    pub backup_secs: f64,
+    pub restore_ttfq_secs: f64,
+    pub restore_full_secs: f64,
+}
+
+/// Run the E1 measurement.
+pub fn run(cfg: E1Config) -> redsim_common::Result<E1Results> {
+    let cluster = Cluster::launch(
+        ClusterConfig::new("e1")
+            .nodes(cfg.nodes)
+            .slices_per_node(cfg.slices_per_node)
+            .seed(cfg.seed),
+    )?;
+    cluster.execute(datagen::CLICKS_DDL)?;
+    cluster.execute(datagen::PRODUCTS_DDL)?;
+
+    // Stage data: one object per slice, like a manifest-parallel COPY.
+    let parts = (cfg.nodes * cfg.slices_per_node) as usize;
+    let click_rows = datagen::clicks(cfg.clicks, cfg.products, cfg.seed);
+    for (i, obj) in datagen::clicks_csv(&click_rows, parts).into_iter().enumerate() {
+        cluster.put_s3_object(&format!("clicks/part-{i:04}"), obj.into_bytes());
+    }
+    for (i, obj) in datagen::products_csv(cfg.products, cfg.seed, parts).into_iter().enumerate() {
+        cluster.put_s3_object(&format!("products/part-{i:04}"), obj.into_bytes());
+    }
+
+    // Parallel load.
+    let t0 = Instant::now();
+    let loaded = cluster.execute("COPY clicks FROM 's3://clicks/'")?.rows_affected;
+    let load_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(loaded as usize, cfg.clicks);
+    cluster.execute("COPY products FROM 's3://products/'")?;
+    cluster.execute("VACUUM")?;
+    cluster.execute("ANALYZE")?;
+
+    // The headline join on the MPP engine (warm the plan cache first so
+    // we measure execution, matching the paper's repeated-workload use).
+    cluster.query(datagen::E1_JOIN_SQL)?;
+    let t1 = Instant::now();
+    let mpp = cluster.query(datagen::E1_JOIN_SQL)?;
+    let mpp_join_secs = t1.elapsed().as_secs_f64();
+    assert!(!mpp.rows.is_empty());
+
+    // Row-store baseline ("existing scale-out commercial data warehouse"):
+    // single-threaded, row-at-a-time, no compression, no pruning. Run at a
+    // reduced row count and extrapolate linearly (hash join + scan are
+    // O(n) in rows).
+    let baseline_rows = (cfg.clicks / 8).max(10_000).min(cfg.clicks);
+    let (store, plan) = build_baseline(&click_rows[..baseline_rows], cfg.products, cfg.seed)?;
+    let t2 = Instant::now();
+    let rows = baseline::run_plan(&plan, &store)?;
+    let baseline_join_secs = t2.elapsed().as_secs_f64();
+    assert!(!rows.is_empty());
+    let baseline_join_secs_full_scale =
+        baseline_join_secs * (cfg.clicks as f64 / baseline_rows as f64);
+
+    // Backup + streaming restore.
+    let t3 = Instant::now();
+    cluster.create_snapshot("e1-snap", SnapshotKind::User)?;
+    let backup_secs = t3.elapsed().as_secs_f64();
+    let t4 = Instant::now();
+    let restored = Cluster::restore_from_snapshot(
+        ClusterConfig::new("e1-restore").nodes(cfg.nodes).slices_per_node(cfg.slices_per_node),
+        std::sync::Arc::clone(cluster.s3()),
+        "us-east-1",
+        "e1",
+        "e1-snap",
+        None,
+    )?;
+    // First query: metadata is restored; blocks page-fault on demand.
+    restored.query("SELECT COUNT(*) FROM products")?;
+    let restore_ttfq_secs = t4.elapsed().as_secs_f64();
+    while restored.hydrate_step(256)? > 0 {}
+    let restore_full_secs = t4.elapsed().as_secs_f64();
+
+    Ok(E1Results {
+        load_rows_per_sec: cfg.clicks as f64 / load_secs.max(1e-9),
+        speedup: baseline_join_secs_full_scale / mpp_join_secs.max(1e-9),
+        config: cfg,
+        load_secs,
+        mpp_join_secs,
+        baseline_join_secs,
+        baseline_rows,
+        baseline_join_secs_full_scale,
+        backup_secs,
+        restore_ttfq_secs,
+        restore_full_secs,
+    })
+}
+
+fn build_baseline(
+    clicks: &[datagen::Click],
+    n_products: i64,
+    seed: u64,
+) -> redsim_common::Result<(RowStore, redsim_sql::LogicalPlan)> {
+    use redsim_common::{ColumnDef, DataType, Row, Schema, Value};
+    use redsim_distribution::DistStyle;
+    use redsim_storage::table::SortKeySpec;
+
+    let clicks_schema = Schema::new(vec![
+        ColumnDef::new("user_id", DataType::Int8),
+        ColumnDef::new("product_id", DataType::Int8),
+        ColumnDef::new("ts", DataType::Timestamp),
+        ColumnDef::new("url", DataType::Varchar),
+        ColumnDef::new("bytes", DataType::Int8),
+    ])?;
+    let products_schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int8),
+        ColumnDef::new("name", DataType::Varchar),
+        ColumnDef::new("category", DataType::Varchar),
+        ColumnDef::new("price", DataType::Decimal(10, 2)),
+    ])?;
+    let mut store = RowStore::new();
+    store.insert_table(
+        "clicks",
+        clicks
+            .iter()
+            .map(|c| {
+                Row::new(vec![
+                    Value::Int8(c.user_id),
+                    Value::Int8(c.product_id),
+                    Value::Timestamp(c.ts),
+                    Value::Str(c.url.clone()),
+                    Value::Int8(c.bytes),
+                ])
+            })
+            .collect(),
+    );
+    let product_parts = datagen::products_csv(n_products, seed, 1);
+    let mut product_rows = Vec::new();
+    for line in product_parts[0].lines() {
+        let f: Vec<&str> = line.split(',').collect();
+        product_rows.push(Row::new(vec![
+            Value::Int8(f[0].parse().unwrap()),
+            Value::Str(f[1].to_string()),
+            Value::Str(f[2].to_string()),
+            Value::Decimal {
+                units: redsim_common::types::parse_decimal(f[3], 2)?,
+                scale: 2,
+            },
+        ]));
+    }
+    store.insert_table("products", product_rows);
+
+    let catalog = StaticCatalog {
+        tables: vec![
+            redsim_sql::TableMeta {
+                name: "clicks".into(),
+                schema: clicks_schema,
+                dist_style: DistStyle::Even,
+                sort_key: SortKeySpec::None,
+                rows: clicks.len() as u64,
+            },
+            redsim_sql::TableMeta {
+                name: "products".into(),
+                schema: products_schema,
+                dist_style: DistStyle::Even,
+                sort_key: SortKeySpec::None,
+                rows: n_products as u64,
+            },
+        ],
+        slices: 1,
+    };
+    let stmt = redsim_sql::parse(datagen::E1_JOIN_SQL)?;
+    let plan = match stmt {
+        Statement::Select(s) => {
+            let bound = Binder::new(&catalog).bind_select(&s)?;
+            optimizer::optimize(bound, &catalog)
+        }
+        _ => unreachable!(),
+    };
+    Ok((store, plan))
+}
+
+/// Extrapolate measured throughput to the paper's scale.
+///
+/// The paper's cluster is unspecified; public Redshift material of the
+/// era used up to 128 dw1.8xl nodes (16 slices each). We scale measured
+/// per-slice throughput linearly with slices and rows — the linearity
+/// itself is validated by the slice-scaling bench — and report the
+/// *predicted* paper-scale times alongside the paper's claims.
+pub fn extrapolate(r: &E1Results, paper_slices: f64) -> PaperScale {
+    let my_slices = (r.config.nodes * r.config.slices_per_node) as f64;
+    let load_rate_paper = r.load_rows_per_sec * (paper_slices / my_slices);
+    let join_rows_per_sec = r.config.clicks as f64 / r.mpp_join_secs;
+    let join_rate_paper = join_rows_per_sec * (paper_slices / my_slices);
+    let baseline_rate = r.baseline_rows as f64 / r.baseline_join_secs;
+    PaperScale {
+        daily_load_secs: 5e9 / load_rate_paper,
+        backfill_secs: 150e9 / load_rate_paper,
+        join_2t_secs: 2e12 / join_rate_paper,
+        baseline_join_2t_secs: 2e12 / baseline_rate,
+    }
+}
+
+/// Predicted times at the paper's data volumes.
+#[derive(Debug, Clone)]
+pub struct PaperScale {
+    /// 5B-row daily load (paper: 10 minutes).
+    pub daily_load_secs: f64,
+    /// 150B-row backfill (paper: 9.75 hours).
+    pub backfill_secs: f64,
+    /// 2T-row join (paper: < 14 minutes).
+    pub join_2t_secs: f64,
+    /// The same join on the row-store baseline (paper: > 1 week).
+    pub baseline_join_2t_secs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape_holds_at_small_scale() {
+        let r = run(E1Config {
+            clicks: 60_000,
+            products: 3_000,
+            nodes: 2,
+            slices_per_node: 2,
+            seed: 7,
+        })
+        .unwrap();
+        assert!(r.load_rows_per_sec > 10_000.0, "load rate {:.0}", r.load_rows_per_sec);
+        // Debug builds compress the gap (no vectorization, overflow
+        // checks); the release bar is the meaningful one.
+        let bar = if cfg!(debug_assertions) { 1.2 } else { 3.0 };
+        assert!(
+            r.speedup > bar,
+            "columnar MPP must beat the row baseline: {:.1}x (bar {bar})",
+            r.speedup
+        );
+        assert!(
+            r.restore_ttfq_secs < r.restore_full_secs + 1e-9,
+            "streaming restore answers before hydration completes"
+        );
+    }
+
+    #[test]
+    fn extrapolation_math() {
+        let r = E1Results {
+            config: E1Config { clicks: 1_000_000, products: 10, nodes: 2, slices_per_node: 4, seed: 0 },
+            load_secs: 1.0,
+            load_rows_per_sec: 1e6,
+            mpp_join_secs: 1.0,
+            baseline_join_secs: 10.0,
+            baseline_rows: 100_000,
+            baseline_join_secs_full_scale: 100.0,
+            speedup: 100.0,
+            backup_secs: 0.1,
+            restore_ttfq_secs: 0.1,
+            restore_full_secs: 0.2,
+        };
+        let p = extrapolate(&r, 2048.0); // 128 nodes × 16 slices
+        // 5e9 rows at 1e6 r/s × 256x slices = ~19.5s.
+        assert!((p.daily_load_secs - 5e9 / (1e6 * 256.0)).abs() < 1.0);
+        assert!(p.baseline_join_2t_secs > p.join_2t_secs * 100.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # redsim-bench
+//!
+//! The benchmark harness: everything needed to regenerate the paper's
+//! figures and narrative numbers (experiments E1–E12 in DESIGN.md §4).
+//!
+//! * [`datagen`] — deterministic workload generators: the Amazon-retail
+//!   web-log workload of §1 (click streams joined to a product catalog),
+//!   plus shaped columns for the compression experiments.
+//! * [`e1`] — the intro's headline results: parallel load rate, the
+//!   clicks⋈products join on the columnar MPP engine vs the row-store
+//!   baseline, backup/restore, with calibrated extrapolation to the
+//!   paper's petabyte scale.
+//! * [`figures`] — Figure 1 (data analysis gap), Figure 2 (admin ops),
+//!   Figure 4 (cumulative features), Figure 5 (tickets per cluster), E6
+//!   (provisioning), E12 (streaming restore) as printable series.
+//! * [`report`] — fixed-width text tables + CSV writers for `results/`.
+//!
+//! The `figures` binary runs everything: `cargo run -p redsim-bench
+//! --bin figures --release`.
+
+pub mod datagen;
+pub mod e1;
+pub mod figures;
+pub mod report;

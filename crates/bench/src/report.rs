@@ -1,0 +1,133 @@
+//! Text-table and CSV report output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A fixed-width text table with a title.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "table arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "## {}", self.title).unwrap();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, w) in cells.iter().zip(widths) {
+                write!(out, "{c:>w$}  ", w = w).unwrap();
+            }
+            out.pop();
+            out.pop();
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(out, "{}", "-".repeat(rule)).unwrap();
+        for r in &self.rows {
+            line(r, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", self.headers.join(",")).unwrap();
+        for r in &self.rows {
+            writeln!(out, "{}", r.join(",")).unwrap();
+        }
+        out
+    }
+
+    /// Write both renderings under `dir` with the given stem.
+    pub fn save(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.txt")), self.render())?;
+        std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Format seconds as a human-scale duration string.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.1}s")
+    } else if s < 7_200.0 {
+        format!("{:.1}min", s / 60.0)
+    } else if s < 172_800.0 {
+        format!("{:.1}h", s / 3_600.0)
+    } else {
+        format!("{:.1}d", s / 86_400.0)
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new("demo", &["op", "nodes", "t"]);
+        t.row(&["backup".into(), "2".into(), "9.6min".into()]);
+        t.row(&["restore".into(), "128".into(), "2.0min".into()]);
+        let text = t.render();
+        assert!(text.contains("## demo"));
+        assert!(text.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "op,nodes,t");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.25), "250ms");
+        assert_eq!(fmt_secs(90.0), "90.0s");
+        assert_eq!(fmt_secs(600.0), "10.0min");
+        assert_eq!(fmt_secs(200_000.0), "2.3d");
+        assert_eq!(fmt_count(5_000_000_000), "5,000,000,000");
+        assert_eq!(fmt_count(42), "42");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps cross-crate plumbing simple; variants carry a
+//! human-readable message plus, where useful, structured context. The enum
+//! is `#[non_exhaustive]` so downstream code matches with a catch-all.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = RsError> = std::result::Result<T, E>;
+
+/// The error type for every fallible operation in `redshift-sim`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RsError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The statement is well-formed but semantically invalid
+    /// (unknown table/column, type mismatch, ...).
+    Analysis(String),
+    /// The planner/optimizer could not produce a plan.
+    Plan(String),
+    /// A runtime execution failure (overflow, bad cast, ...).
+    Execution(String),
+    /// Storage-layer failure (corrupt block, missing chain, ...).
+    Storage(String),
+    /// An object was not found (table, snapshot, S3 key, node, ...).
+    NotFound(String),
+    /// An object already exists.
+    AlreadyExists(String),
+    /// Data failed encode/decode (compression codecs, binary codec).
+    Codec(String),
+    /// Replication / backup / restore failure.
+    Replication(String),
+    /// Encryption / key-management failure.
+    Crypto(String),
+    /// Control-plane workflow failure (provisioning, patching, resize, ...).
+    ControlPlane(String),
+    /// A simulated hardware fault was injected and surfaced to the caller.
+    FaultInjected(String),
+    /// The cluster (or a table) is in a state that forbids the operation,
+    /// e.g. writes during resize while the source is read-only.
+    InvalidState(String),
+    /// Transaction conflict (the single-leader serialization point
+    /// rejected a concurrent writer).
+    TxnConflict(String),
+    /// Feature intentionally outside the reproduced SQL subset.
+    Unsupported(String),
+}
+
+impl RsError {
+    /// Short machine-readable code for telemetry bucketing
+    /// (the control plane's Pareto error tracker keys on this).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RsError::Parse(_) => "PARSE",
+            RsError::Analysis(_) => "ANALYSIS",
+            RsError::Plan(_) => "PLAN",
+            RsError::Execution(_) => "EXEC",
+            RsError::Storage(_) => "STORAGE",
+            RsError::NotFound(_) => "NOT_FOUND",
+            RsError::AlreadyExists(_) => "ALREADY_EXISTS",
+            RsError::Codec(_) => "CODEC",
+            RsError::Replication(_) => "REPL",
+            RsError::Crypto(_) => "CRYPTO",
+            RsError::ControlPlane(_) => "CTRL",
+            RsError::FaultInjected(_) => "FAULT",
+            RsError::InvalidState(_) => "STATE",
+            RsError::TxnConflict(_) => "TXN",
+            RsError::Unsupported(_) => "UNSUPPORTED",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            RsError::Parse(m)
+            | RsError::Analysis(m)
+            | RsError::Plan(m)
+            | RsError::Execution(m)
+            | RsError::Storage(m)
+            | RsError::NotFound(m)
+            | RsError::AlreadyExists(m)
+            | RsError::Codec(m)
+            | RsError::Replication(m)
+            | RsError::Crypto(m)
+            | RsError::ControlPlane(m)
+            | RsError::FaultInjected(m)
+            | RsError::InvalidState(m)
+            | RsError::TxnConflict(m)
+            | RsError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for RsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = RsError::Parse("unexpected token `)`".into());
+        assert_eq!(e.to_string(), "PARSE: unexpected token `)`");
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errs = [
+            RsError::Parse(String::new()),
+            RsError::Analysis(String::new()),
+            RsError::Plan(String::new()),
+            RsError::Execution(String::new()),
+            RsError::Storage(String::new()),
+            RsError::NotFound(String::new()),
+            RsError::AlreadyExists(String::new()),
+            RsError::Codec(String::new()),
+            RsError::Replication(String::new()),
+            RsError::Crypto(String::new()),
+            RsError::ControlPlane(String::new()),
+            RsError::FaultInjected(String::new()),
+            RsError::InvalidState(String::new()),
+            RsError::TxnConflict(String::new()),
+            RsError::Unsupported(String::new()),
+        ];
+        let codes: std::collections::BTreeSet<_> = errs.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errs.len());
+    }
+}

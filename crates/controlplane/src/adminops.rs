@@ -1,0 +1,209 @@
+//! Figure 2: "Common admin operation execution time by size".
+//!
+//! The figure shows deploy / connect / backup / restore / resize
+//! durations for 2-, 16- and 128-node clusters, with total duration under
+//! ~32 minutes and "time spent on clicks" a small constant — the paper's
+//! point being that administration is **data-parallel within the cluster**
+//! (§3.2: "the time required to backup an entire cluster is proportional
+//! to the data changed on a single node"), so durations stay roughly flat
+//! as clusters grow.
+
+use crate::provision::ProvisioningModel;
+use redsim_simkit::{Dist, SimRng, SimTime};
+
+/// The operations in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminOp {
+    Deploy,
+    Connect,
+    Backup,
+    Restore,
+    /// Resize from `nodes` to 8× nodes (the figure's "2 to 16").
+    Resize,
+}
+
+impl AdminOp {
+    pub const ALL: [AdminOp; 5] =
+        [AdminOp::Deploy, AdminOp::Connect, AdminOp::Backup, AdminOp::Restore, AdminOp::Resize];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AdminOp::Deploy => "Deploy",
+            AdminOp::Connect => "Connect",
+            AdminOp::Backup => "Backup",
+            AdminOp::Restore => "Restore",
+            AdminOp::Resize => "Resize",
+        }
+    }
+}
+
+/// Duration report for one (operation, cluster size) cell of Figure 2.
+#[derive(Debug, Clone)]
+pub struct AdminOpReport {
+    pub op: AdminOp,
+    pub nodes: u32,
+    /// Console interaction ("time spent on clicks").
+    pub click_time: SimTime,
+    /// Total wall-clock until the operation completes.
+    pub duration: SimTime,
+}
+
+/// Model parameters for the Figure 2 regeneration.
+#[derive(Debug, Clone)]
+pub struct AdminOpsModel {
+    pub provisioning: ProvisioningModel,
+    /// Per-node data subject to backup/restore (bytes). Admin ops are
+    /// data-parallel, so only the per-node amount matters.
+    pub data_per_node_gb: f64,
+    /// Effective per-node backup bandwidth to S3 (MB/s).
+    pub backup_mbps: f64,
+    /// Effective per-node restore bandwidth from S3 (MB/s).
+    pub restore_mbps: f64,
+    /// Node-to-node copy bandwidth during resize (MB/s per node pair).
+    pub resize_mbps: f64,
+}
+
+impl Default for AdminOpsModel {
+    fn default() -> Self {
+        AdminOpsModel {
+            provisioning: ProvisioningModel::default(),
+            data_per_node_gb: 100.0,
+            backup_mbps: 180.0,  // incremental backup of changed blocks
+            restore_mbps: 450.0, // streaming restore opens early; figure
+            // reports time-to-usable, not full hydration
+            resize_mbps: 250.0,
+        }
+    }
+}
+
+impl AdminOpsModel {
+    /// One cell of Figure 2.
+    pub fn run(&self, op: AdminOp, nodes: u32, rng: &mut SimRng) -> AdminOpReport {
+        // Clicks: a handful of console screens regardless of size.
+        let click_time = SimTime::from_secs_f64(Dist::Uniform(15.0, 40.0).sample(rng));
+        let per_node_bytes = self.data_per_node_gb * 1e9;
+        let duration = match op {
+            AdminOp::Deploy => {
+                // Warm-pool provisioning (the post-launch configuration).
+                let mut pool = crate::provision::WarmPool::new(nodes * 2);
+                self.provisioning.provision(nodes, Some(&mut pool), rng)
+            }
+            AdminOp::Connect => {
+                // DNS propagation + driver handshake; size-independent.
+                SimTime::from_secs_f64(Dist::Uniform(45.0, 90.0).sample(rng))
+            }
+            AdminOp::Backup => {
+                // Data-parallel: every node ships its changed blocks
+                // concurrently; makespan = slowest node.
+                let mut makespan: f64 = 0.0;
+                for _ in 0..nodes {
+                    let eff = self.backup_mbps * Dist::Uniform(0.85, 1.0).sample(rng);
+                    makespan = makespan.max(per_node_bytes / (eff * 1e6));
+                }
+                SimTime::from_secs_f64(makespan + 30.0) // manifest commit
+            }
+            AdminOp::Restore => {
+                // Streaming restore: metadata first, then the working set
+                // (a fraction of per-node data) before "usable".
+                let working_set = per_node_bytes * 0.25;
+                let mut makespan: f64 = 0.0;
+                for _ in 0..nodes {
+                    let eff = self.restore_mbps * Dist::Uniform(0.85, 1.0).sample(rng);
+                    makespan = makespan.max(working_set / (eff * 1e6));
+                }
+                SimTime::from_secs_f64(makespan + 60.0) // catalog restore
+            }
+            AdminOp::Resize => {
+                // Provision the target (warm), then parallel node-to-node
+                // copy; source stays read-available (§3.1).
+                let mut pool = crate::provision::WarmPool::new(nodes * 16);
+                let provision = self.provisioning.provision(nodes * 8, Some(&mut pool), rng);
+                let mut copy: f64 = 0.0;
+                for _ in 0..nodes {
+                    let eff = self.resize_mbps * Dist::Uniform(0.85, 1.0).sample(rng);
+                    copy = copy.max(per_node_bytes / (eff * 1e6));
+                }
+                provision + SimTime::from_secs_f64(copy + 60.0) // endpoint flip
+            }
+        };
+        AdminOpReport { op, nodes, click_time, duration }
+    }
+}
+
+/// Regenerate the full Figure 2 grid: every operation × cluster size.
+pub fn admin_op_durations(sizes: &[u32], seed: u64) -> Vec<AdminOpReport> {
+    let model = AdminOpsModel::default();
+    let mut rng = SimRng::seeded(seed);
+    let mut out = Vec::new();
+    for &n in sizes {
+        for op in AdminOp::ALL {
+            out.push(model.run(op, n, &mut rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<AdminOpReport> {
+        admin_op_durations(&[2, 16, 128], 2015)
+    }
+
+    #[test]
+    fn all_cells_present() {
+        let g = grid();
+        assert_eq!(g.len(), 15);
+        for n in [2u32, 16, 128] {
+            for op in AdminOp::ALL {
+                assert!(g.iter().any(|r| r.nodes == n && r.op == op));
+            }
+        }
+    }
+
+    #[test]
+    fn durations_fit_figure_2_envelope() {
+        // The figure's x-axis tops out at 32 minutes.
+        for r in grid() {
+            assert!(
+                r.duration.as_mins_f64() <= 32.0,
+                "{} @ {} nodes took {}",
+                r.op.label(),
+                r.nodes,
+                r.duration
+            );
+            assert!(r.duration.as_mins_f64() >= 0.3);
+        }
+    }
+
+    #[test]
+    fn click_time_is_small_and_flat() {
+        for r in grid() {
+            assert!(r.click_time.as_mins_f64() <= 2.0);
+            assert!(r.click_time < r.duration, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn durations_roughly_flat_in_cluster_size() {
+        // The paper's headline property: 128 nodes ≈ 2 nodes because
+        // admin ops are data-parallel. Allow 2× wiggle.
+        let g = grid();
+        for op in [AdminOp::Backup, AdminOp::Restore, AdminOp::Deploy] {
+            let d2 = g.iter().find(|r| r.op == op && r.nodes == 2).unwrap().duration;
+            let d128 = g.iter().find(|r| r.op == op && r.nodes == 128).unwrap().duration;
+            let ratio = d128.as_secs_f64() / d2.as_secs_f64();
+            assert!(ratio < 2.0, "{}: 2-node {} vs 128-node {}", op.label(), d2, d128);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = admin_op_durations(&[16], 99);
+        let b = admin_op_durations(&[16], 99);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.duration, y.duration);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Fleet availability under node failures — "design escalators, not
+//! elevators" (§5).
+//!
+//! A discrete-event model of a fleet of clusters suffering random node
+//! failures: each failure degrades the cluster (reads fall through to
+//! replicas) rather than taking it down; a bounded pool of preconfigured
+//! standby nodes ("we support the ability to preconfigure nodes in each
+//! data center, allowing us to continue to provision and replace nodes …
+//! if there is an Amazon EC2 provisioning interruption") replaces failed
+//! nodes; only a *second* failure in the same cluster before replacement
+//! + re-replication completes causes an availability loss.
+//!
+//! Built on [`redsim_simkit::Simulation`] — failures, replacements and
+//! re-replication completions are all events on virtual time.
+
+use redsim_simkit::{ServerPool, SimRng, SimTime, Simulation};
+
+/// Model parameters.
+#[derive(Debug, Clone)]
+pub struct AvailabilityConfig {
+    pub clusters: usize,
+    pub nodes_per_cluster: u32,
+    /// Mean time between failures per node (hours).
+    pub node_mtbf_hours: f64,
+    /// Standby replacements available concurrently (warm-pool servers).
+    pub replacement_pool: usize,
+    /// Time to attach a standby node (seconds).
+    pub replace_secs: f64,
+    /// Time to re-replicate the replaced node's data (seconds).
+    pub rereplicate_secs: f64,
+    /// Horizon (days).
+    pub horizon_days: u64,
+}
+
+impl Default for AvailabilityConfig {
+    fn default() -> Self {
+        AvailabilityConfig {
+            clusters: 500,
+            nodes_per_cluster: 8,
+            node_mtbf_hours: 4_380.0, // ~6 months per node
+            replacement_pool: 8,
+            replace_secs: 180.0,  // the §3.1 warm-attach time
+            rereplicate_secs: 1_200.0,
+            horizon_days: 365,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct AvailabilityReport {
+    pub node_failures: u64,
+    /// Failures fully absorbed (replica reads + replacement): degraded,
+    /// never unavailable — the escalator.
+    pub degraded_events: u64,
+    /// Second failure hit the same cluster while it was still exposed:
+    /// the cluster restarts from S3 backup — the elevator stopping.
+    pub availability_losses: u64,
+    /// Aggregate cluster-seconds spent in the exposed (single-replica)
+    /// window.
+    pub exposed_seconds: f64,
+    /// Fraction of cluster-time fully redundant.
+    pub availability: f64,
+}
+
+struct State {
+    rng: SimRng,
+    /// Per cluster: is it currently exposed (a node down / re-replicating)?
+    exposed: Vec<bool>,
+    exposed_since: Vec<SimTime>,
+    pool: ServerPool,
+    cfg: AvailabilityConfig,
+    report: AvailabilityReport,
+}
+
+/// Run the model.
+pub fn simulate_availability(cfg: AvailabilityConfig, seed: u64) -> AvailabilityReport {
+    let horizon = SimTime::from_days(cfg.horizon_days);
+    let clusters = cfg.clusters;
+    let mut sim = Simulation::new(State {
+        rng: SimRng::seeded(seed),
+        exposed: vec![false; clusters],
+        exposed_since: vec![SimTime::ZERO; clusters],
+        pool: ServerPool::new(cfg.replacement_pool),
+        report: AvailabilityReport {
+            node_failures: 0,
+            degraded_events: 0,
+            availability_losses: 0,
+            exposed_seconds: 0.0,
+            availability: 0.0,
+        },
+        cfg,
+    });
+    // Seed one failure event per cluster.
+    for c in 0..clusters {
+        let delay = next_failure_delay(&mut sim.state, c);
+        sim.schedule(delay, move |s| fail(s, c));
+    }
+    sim.run_until(horizon);
+    let mut report = {
+        // Close out any exposure windows at the horizon.
+        let now = sim.now();
+        for c in 0..clusters {
+            if sim.state.exposed[c] {
+                sim.state.report.exposed_seconds +=
+                    (now - sim.state.exposed_since[c]).as_secs_f64();
+            }
+        }
+        sim.state.report.clone()
+    };
+    let total = horizon.as_secs_f64() * clusters as f64;
+    report.availability = 1.0 - report.exposed_seconds / total;
+    report
+}
+
+fn next_failure_delay(state: &mut State, cluster: usize) -> SimTime {
+    // Cluster-level failure rate = per-node rate × nodes.
+    let _ = cluster;
+    let mean_secs = state.cfg.node_mtbf_hours * 3_600.0 / state.cfg.nodes_per_cluster as f64;
+    SimTime::from_secs_f64(state.rng.exponential(mean_secs))
+}
+
+fn fail(sim: &mut Simulation<State>, cluster: usize) {
+    let now = sim.now();
+    sim.state.report.node_failures += 1;
+    if sim.state.exposed[cluster] {
+        // Second failure inside the exposure window: availability loss.
+        // The cluster restores from S3 (streaming restore) and comes back
+        // redundant — account the loss, close the window.
+        sim.state.report.availability_losses += 1;
+        sim.state.report.exposed_seconds +=
+            (now - sim.state.exposed_since[cluster]).as_secs_f64();
+        sim.state.exposed[cluster] = false;
+    } else {
+        sim.state.report.degraded_events += 1;
+        sim.state.exposed[cluster] = true;
+        sim.state.exposed_since[cluster] = now;
+        // Replacement: queue on the warm pool, then re-replicate.
+        let service = SimTime::from_secs_f64(
+            sim.state.cfg.replace_secs + sim.state.cfg.rereplicate_secs,
+        );
+        let done = sim.state.pool.submit(now, service);
+        sim.schedule_at(done, move |s| recover(s, cluster));
+    }
+    // Schedule this cluster's next failure.
+    let delay = next_failure_delay(&mut sim.state, cluster);
+    sim.schedule(delay, move |s| fail(s, cluster));
+}
+
+fn recover(sim: &mut Simulation<State>, cluster: usize) {
+    if sim.state.exposed[cluster] {
+        let now = sim.now();
+        sim.state.report.exposed_seconds +=
+            (now - sim.state.exposed_since[cluster]).as_secs_f64();
+        sim.state.exposed[cluster] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_degrade_not_drop() {
+        let r = simulate_availability(AvailabilityConfig::default(), 42);
+        assert!(r.node_failures > 200, "a year of a 500×8 fleet fails often: {r:?}");
+        // Nearly every failure is absorbed; double-failures are rare.
+        assert!(
+            (r.availability_losses as f64) < r.node_failures as f64 * 0.02,
+            "{r:?}"
+        );
+        assert!(r.availability > 0.999, "fleet availability {:.6}", r.availability);
+    }
+
+    #[test]
+    fn bigger_warm_pool_shrinks_exposure() {
+        let tight = simulate_availability(
+            AvailabilityConfig { replacement_pool: 1, ..Default::default() },
+            7,
+        );
+        let roomy = simulate_availability(
+            AvailabilityConfig { replacement_pool: 32, ..Default::default() },
+            7,
+        );
+        assert!(
+            roomy.exposed_seconds < tight.exposed_seconds,
+            "tight {:.0}s vs roomy {:.0}s",
+            tight.exposed_seconds,
+            roomy.exposed_seconds
+        );
+    }
+
+    #[test]
+    fn slower_rereplication_raises_double_failure_risk() {
+        let fast = simulate_availability(
+            AvailabilityConfig { rereplicate_secs: 300.0, clusters: 2_000, ..Default::default() },
+            9,
+        );
+        let slow = simulate_availability(
+            AvailabilityConfig {
+                rereplicate_secs: 86_400.0, // a day exposed
+                clusters: 2_000,
+                ..Default::default()
+            },
+            9,
+        );
+        assert!(
+            slow.availability_losses >= fast.availability_losses,
+            "fast {fast:?} slow {slow:?}"
+        );
+        assert!(slow.availability < fast.availability);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_availability(AvailabilityConfig::default(), 3);
+        let b = simulate_availability(AvailabilityConfig::default(), 3);
+        assert_eq!(a.node_failures, b.node_failures);
+        assert_eq!(a.availability_losses, b.availability_losses);
+    }
+}

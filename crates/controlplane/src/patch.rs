@@ -1,0 +1,318 @@
+//! Patch orchestration: Figure 4 and the §5 deployment lessons.
+//!
+//! "Amazon Redshift is set up to automatically patch customer clusters on
+//! a weekly basis in a 30-minute window … Patches are reversible and will
+//! automatically be reversed if we see an increase in errors or latency
+//! in our telemetry. At any point, a customer will only be on one of two
+//! patch versions … We typically push new database engine software …
+//! every two weeks. We have found reducing this pace, for example to
+//! every four weeks, meaningfully increased the probability of a failed
+//! patch."
+
+use redsim_simkit::SimRng;
+
+/// Patch-process parameters.
+#[derive(Debug, Clone)]
+pub struct PatchConfig {
+    /// Release cadence in weeks (2 = the paper's normal pace).
+    pub cadence_weeks: u32,
+    /// Features landing per week of development (~1/week in Figure 4).
+    pub features_per_week: f64,
+    /// Bug-fixes per week folded into each release.
+    pub fixes_per_week: f64,
+    /// Base probability that one unit of change regresses telemetry.
+    /// Failure probability of a release compounds with its size, which
+    /// is what makes slower cadences riskier.
+    pub regression_prob_per_change: f64,
+    /// Simulated horizon in weeks.
+    pub horizon_weeks: u32,
+}
+
+impl Default for PatchConfig {
+    fn default() -> Self {
+        PatchConfig {
+            cadence_weeks: 2,
+            features_per_week: 1.0,
+            fixes_per_week: 2.0,
+            regression_prob_per_change: 0.012,
+            horizon_weeks: 104, // the paper's two years
+        }
+    }
+}
+
+/// One release's outcome.
+#[derive(Debug, Clone)]
+pub struct PatchOutcome {
+    pub week: u32,
+    pub changes: u32,
+    pub features: u32,
+    /// Telemetry regressed → automatic rollback; features ship next time.
+    pub rolled_back: bool,
+}
+
+/// Result series of a patch simulation.
+#[derive(Debug, Clone)]
+pub struct PatchSimulation {
+    pub releases: Vec<PatchOutcome>,
+    /// (week, cumulative features deployed) — the Figure 4 series.
+    pub cumulative_features: Vec<(u32, u32)>,
+    pub failed_releases: u32,
+}
+
+impl PatchSimulation {
+    /// Probability a release fails, as measured over this run.
+    pub fn failure_rate(&self) -> f64 {
+        if self.releases.is_empty() {
+            return 0.0;
+        }
+        self.failed_releases as f64 / self.releases.len() as f64
+    }
+
+    /// Mean features shipped per week over the horizon.
+    pub fn features_per_week(&self) -> f64 {
+        match self.cumulative_features.last() {
+            Some(&(week, total)) if week > 0 => total as f64 / week as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Run the deployment model.
+pub fn simulate_patching(cfg: &PatchConfig, seed: u64) -> PatchSimulation {
+    let mut rng = SimRng::seeded(seed);
+    let mut releases = Vec::new();
+    let mut cumulative = Vec::new();
+    let mut shipped = 0u32;
+    let mut backlog_features = 0.0f64;
+    let mut backlog_fixes = 0.0f64;
+    let mut failed = 0u32;
+    let mut week = 0u32;
+    while week < cfg.horizon_weeks {
+        // Development accrues weekly.
+        backlog_features += cfg.features_per_week;
+        backlog_fixes += cfg.fixes_per_week;
+        week += 1;
+        cumulative.push((week, shipped));
+        if !week.is_multiple_of(cfg.cadence_weeks) {
+            continue;
+        }
+        // Release everything in the backlog.
+        let features = backlog_features.floor() as u32;
+        let changes = features + backlog_fixes.floor() as u32;
+        // Per-change regression risk compounds: big patches are fragile.
+        let p_fail = 1.0 - (1.0 - cfg.regression_prob_per_change).powi(changes as i32);
+        let rolled_back = rng.chance(p_fail);
+        if rolled_back {
+            failed += 1;
+            // Rollback: changes return to the backlog (plus the fix for
+            // whatever regressed, folded into next cycle's fixes).
+            backlog_fixes += 1.0;
+        } else {
+            shipped += features;
+            backlog_features -= features as f64;
+            backlog_fixes = 0.0;
+        }
+        releases.push(PatchOutcome { week, changes, features, rolled_back });
+        // Update this week's cumulative point post-release.
+        if let Some(last) = cumulative.last_mut() {
+            last.1 = shipped;
+        }
+    }
+    PatchSimulation { releases, cumulative_features: cumulative, failed_releases: failed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_slope_is_about_one_feature_per_week() {
+        let sim = simulate_patching(&PatchConfig::default(), 1);
+        let fpw = sim.features_per_week();
+        assert!((0.7..=1.05).contains(&fpw), "features/week = {fpw:.2}");
+        // Cumulative curve is monotone non-decreasing.
+        for w in sim.cumulative_features.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn releases_happen_on_cadence() {
+        let sim = simulate_patching(&PatchConfig::default(), 2);
+        assert_eq!(sim.releases.len(), 52, "biweekly over 104 weeks");
+        for r in &sim.releases {
+            assert_eq!(r.week % 2, 0);
+        }
+    }
+
+    #[test]
+    fn slower_cadence_raises_failure_probability() {
+        // The §5 claim: 4-week releases fail more often than 2-week ones.
+        // Average over seeds to beat the noise.
+        let rate = |weeks: u32| {
+            let mut acc = 0.0;
+            for seed in 0..40 {
+                let cfg = PatchConfig { cadence_weeks: weeks, ..Default::default() };
+                acc += simulate_patching(&cfg, seed).failure_rate();
+            }
+            acc / 40.0
+        };
+        let fast = rate(1);
+        let normal = rate(2);
+        let slow = rate(4);
+        assert!(slow > normal, "4-week {slow:.3} vs 2-week {normal:.3}");
+        assert!(normal > fast, "2-week {normal:.3} vs 1-week {fast:.3}");
+    }
+
+    #[test]
+    fn rollbacks_defer_features_not_lose_them() {
+        let cfg = PatchConfig {
+            regression_prob_per_change: 0.08, // fail often
+            ..Default::default()
+        };
+        let sim = simulate_patching(&cfg, 3);
+        assert!(sim.failed_releases > 0);
+        // Everything eventually ships or remains queued; cumulative never
+        // exceeds what development produced.
+        let (last_week, total) = *sim.cumulative_features.last().unwrap();
+        assert!(total as f64 <= cfg.features_per_week * last_week as f64 + 0.001);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_patching(&PatchConfig::default(), 9);
+        let b = simulate_patching(&PatchConfig::default(), 9);
+        assert_eq!(a.failed_releases, b.failed_releases);
+        assert_eq!(a.cumulative_features, b.cumulative_features);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet rollout: the two-version invariant
+// ---------------------------------------------------------------------
+
+/// Staggered fleet rollout of one release across many clusters, honoring
+/// §5's operability invariant: "At any point, a customer will only be on
+/// one of two patch versions, greatly improving our ability to reproduce
+/// and diagnose issues."
+#[derive(Debug)]
+pub struct FleetRollout {
+    /// Version each cluster currently runs.
+    versions: Vec<u32>,
+    /// The release being rolled out (None = steady state).
+    rolling_to: Option<u32>,
+    /// Clusters patched per maintenance window (the stagger).
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl FleetRollout {
+    pub fn new(clusters: usize, batch_size: usize) -> Self {
+        FleetRollout {
+            versions: vec![1; clusters],
+            rolling_to: None,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Distinct versions currently in the fleet.
+    pub fn live_versions(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.versions.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Begin rolling the fleet to `version`. Refused while another
+    /// rollout is in flight — completing (or reverting) first is exactly
+    /// what keeps the fleet on ≤ 2 versions.
+    pub fn start_release(&mut self, version: u32) -> Result<(), String> {
+        if self.rolling_to.is_some() {
+            return Err("a rollout is already in flight".into());
+        }
+        if self.live_versions().len() > 1 {
+            return Err("fleet not converged from previous rollout".into());
+        }
+        self.rolling_to = Some(version);
+        self.cursor = 0;
+        Ok(())
+    }
+
+    /// One maintenance window: patch the next batch. Returns clusters
+    /// patched; 0 = rollout complete.
+    pub fn window(&mut self) -> usize {
+        let Some(v) = self.rolling_to else { return 0 };
+        let end = (self.cursor + self.batch_size).min(self.versions.len());
+        let patched = end - self.cursor;
+        for c in self.cursor..end {
+            self.versions[c] = v;
+        }
+        self.cursor = end;
+        if self.cursor >= self.versions.len() {
+            self.rolling_to = None;
+        }
+        debug_assert!(self.live_versions().len() <= 2, "two-version invariant");
+        patched
+    }
+
+    /// Telemetry regression detected: revert every patched cluster to the
+    /// prior version ("patches are reversible and will automatically be
+    /// reversed").
+    pub fn rollback(&mut self, to: u32) {
+        if let Some(v) = self.rolling_to.take() {
+            for c in &mut self.versions {
+                if *c == v {
+                    *c = to;
+                }
+            }
+        }
+        self.cursor = 0;
+    }
+
+    pub fn is_converged(&self) -> bool {
+        self.rolling_to.is_none() && self.live_versions().len() == 1
+    }
+}
+
+#[cfg(test)]
+mod rollout_tests {
+    use super::*;
+
+    #[test]
+    fn never_more_than_two_versions() {
+        let mut fleet = FleetRollout::new(100, 7);
+        fleet.start_release(2).unwrap();
+        let mut windows = 0;
+        loop {
+            assert!(fleet.live_versions().len() <= 2, "{:?}", fleet.live_versions());
+            if fleet.window() == 0 {
+                break;
+            }
+            windows += 1;
+            // A second release cannot start mid-flight.
+            if windows == 3 {
+                assert!(fleet.start_release(3).is_err());
+            }
+        }
+        assert!(fleet.is_converged());
+        assert_eq!(fleet.live_versions(), vec![2]);
+        assert_eq!(windows, 100_usize.div_ceil(7));
+    }
+
+    #[test]
+    fn rollback_reverts_patched_clusters() {
+        let mut fleet = FleetRollout::new(50, 10);
+        fleet.start_release(2).unwrap();
+        fleet.window();
+        fleet.window();
+        assert_eq!(fleet.live_versions(), vec![1, 2]);
+        fleet.rollback(1);
+        assert_eq!(fleet.live_versions(), vec![1]);
+        assert!(fleet.is_converged());
+        // A fresh (fixed) release can now roll.
+        fleet.start_release(3).unwrap();
+        while fleet.window() > 0 {}
+        assert_eq!(fleet.live_versions(), vec![3]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The pricing model behind the paper's cost story.
+//!
+//! §1: "available for as little as $1000/TB/year … they can spin up a
+//! cluster with no commitments for $0.25/hour/node." §3.1: the free trial
+//! gives "enough free hours for their first two months to continually run
+//! a database supporting 160GB of compressed SSD data."
+
+/// Node types offered (the 2015 lineup, abridged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeType {
+    /// Dense compute: 160 GB SSD, $0.25/hr on demand.
+    DW2Large,
+    /// Dense storage: 2 TB HDD, $0.85/hr on demand.
+    DW1XLarge,
+}
+
+impl NodeType {
+    pub fn storage_tb(self) -> f64 {
+        match self {
+            NodeType::DW2Large => 0.16,
+            NodeType::DW1XLarge => 2.0,
+        }
+    }
+
+    pub fn on_demand_hourly(self) -> f64 {
+        match self {
+            NodeType::DW2Large => 0.25,
+            NodeType::DW1XLarge => 0.85,
+        }
+    }
+
+    /// Effective hourly rate with a 3-year reserved commitment
+    /// (calibrated so dense storage lands at the paper's
+    /// "$1000/TB/year" headline).
+    pub fn reserved_3yr_hourly(self) -> f64 {
+        match self {
+            NodeType::DW2Large => 0.10,
+            NodeType::DW1XLarge => 0.228,
+        }
+    }
+}
+
+/// Purchase options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Commitment {
+    OnDemand,
+    Reserved3Year,
+}
+
+/// A price quote for a cluster configuration.
+#[derive(Debug, Clone)]
+pub struct PriceQuote {
+    pub node_type: NodeType,
+    pub nodes: u32,
+    pub commitment: Commitment,
+    pub hourly: f64,
+    pub monthly: f64,
+    pub yearly: f64,
+    pub storage_tb: f64,
+    pub dollars_per_tb_year: f64,
+}
+
+/// The pricing calculator.
+#[derive(Debug, Default, Clone)]
+pub struct PricingModel;
+
+impl PricingModel {
+    /// Quote a cluster. Pricing is linear in node count (§3.1: "Our
+    /// linear pricing model … has informed how we scale out").
+    pub fn quote(&self, node_type: NodeType, nodes: u32, commitment: Commitment) -> PriceQuote {
+        let rate = match commitment {
+            Commitment::OnDemand => node_type.on_demand_hourly(),
+            Commitment::Reserved3Year => node_type.reserved_3yr_hourly(),
+        };
+        let hourly = rate * nodes as f64;
+        let yearly = hourly * 24.0 * 365.0;
+        let storage_tb = node_type.storage_tb() * nodes as f64;
+        PriceQuote {
+            node_type,
+            nodes,
+            commitment,
+            hourly,
+            monthly: yearly / 12.0,
+            yearly,
+            storage_tb,
+            dollars_per_tb_year: yearly / storage_tb,
+        }
+    }
+
+    /// Free-trial coverage: two months of a single dense-compute node
+    /// (160 GB of compressed SSD data) at no charge.
+    pub fn free_trial_hours(&self) -> f64 {
+        2.0 * 30.0 * 24.0
+    }
+
+    /// Cost of an experiment: `nodes` for `hours`, on demand, minus any
+    /// remaining free-trial allowance (single-node experiments only).
+    pub fn experiment_cost(&self, node_type: NodeType, nodes: u32, hours: f64, trial_hours_left: f64) -> f64 {
+        let mut billable = hours * nodes as f64;
+        if nodes == 1 && node_type == NodeType::DW2Large {
+            billable = (billable - trial_hours_left).max(0.0);
+        }
+        billable * node_type.on_demand_hourly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_price_under_1000_per_tb_year() {
+        let q = PricingModel.quote(NodeType::DW1XLarge, 8, Commitment::Reserved3Year);
+        assert!(
+            q.dollars_per_tb_year <= 1_000.0,
+            "${:.0}/TB/yr",
+            q.dollars_per_tb_year
+        );
+        assert!(q.dollars_per_tb_year >= 900.0, "calibration drifted: ${:.0}", q.dollars_per_tb_year);
+    }
+
+    #[test]
+    fn on_demand_entry_point_is_25_cents() {
+        let q = PricingModel.quote(NodeType::DW2Large, 1, Commitment::OnDemand);
+        assert_eq!(q.hourly, 0.25);
+    }
+
+    #[test]
+    fn pricing_is_linear_in_nodes() {
+        let q1 = PricingModel.quote(NodeType::DW2Large, 1, Commitment::OnDemand);
+        let q100 = PricingModel.quote(NodeType::DW2Large, 100, Commitment::OnDemand);
+        assert!((q100.hourly - q1.hourly * 100.0).abs() < 1e-9);
+        assert!((q100.dollars_per_tb_year - q1.dollars_per_tb_year).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_trial_covers_two_months() {
+        let m = PricingModel;
+        assert_eq!(m.free_trial_hours(), 1_440.0);
+        // A week-long single-node experiment inside the trial is free.
+        assert_eq!(m.experiment_cost(NodeType::DW2Large, 1, 168.0, m.free_trial_hours()), 0.0);
+        // An 8-node experiment is not trial-eligible.
+        let c = m.experiment_cost(NodeType::DW2Large, 8, 10.0, m.free_trial_hours());
+        assert!((c - 8.0 * 10.0 * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_discount_is_substantial() {
+        let od = PricingModel.quote(NodeType::DW1XLarge, 4, Commitment::OnDemand);
+        let rs = PricingModel.quote(NodeType::DW1XLarge, 4, Commitment::Reserved3Year);
+        assert!(rs.yearly < od.yearly * 0.4);
+    }
+}

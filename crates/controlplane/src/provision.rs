@@ -1,0 +1,199 @@
+//! Cluster provisioning: cold boots vs the warm pool.
+//!
+//! §3.1: "At launch time, cluster creation times averaged 15 minutes …
+//! Some months later, we introduced support for preconfigured Amazon
+//! Redshift nodes available for faster creations and supporting standbys
+//! for node failure replacements. These reduced provisioning time to
+//! 3 minutes, and meaningfully reduced abandonment." Experiment E6.
+
+use crate::workflow::{StepSpec, Workflow};
+use redsim_simkit::{Dist, SimRng, SimTime};
+
+/// A pool of preconfigured standby nodes, refilled in the background.
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    capacity: u32,
+    available: u32,
+}
+
+impl WarmPool {
+    pub fn new(capacity: u32) -> Self {
+        WarmPool { capacity, available: capacity }
+    }
+
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// Take up to `n` preconfigured nodes; returns how many were granted.
+    pub fn take(&mut self, n: u32) -> u32 {
+        let granted = n.min(self.available);
+        self.available -= granted;
+        granted
+    }
+
+    /// Background refill (one node at a time in the real service; the
+    /// model refills fully between provisioning events).
+    pub fn refill(&mut self) {
+        self.available = self.capacity;
+    }
+}
+
+/// Provisioning time model.
+#[derive(Debug, Clone)]
+pub struct ProvisioningModel {
+    /// EC2 request + AMI boot + engine configure for one cold node.
+    pub cold_boot: Dist,
+    /// Attach + handshake for one preconfigured node.
+    pub warm_attach: Dist,
+    /// Leader-side cluster assembly (catalog init, endpoint, DNS).
+    pub assembly: Dist,
+    /// Single EC2 provisioning request fails and is retried.
+    pub boot_failure_prob: f64,
+}
+
+impl Default for ProvisioningModel {
+    fn default() -> Self {
+        // Calibrated to the paper: ~15 min cold at launch, ~3 min warm.
+        ProvisioningModel {
+            cold_boot: Dist::Normal(600.0, 60.0),   // ~10 min/node, parallel
+            warm_attach: Dist::Normal(80.0, 12.0),  // ~1.3 min/node, parallel
+            assembly: Dist::Normal(95.0, 15.0),     // ~1.6 min serial tail
+            boot_failure_prob: 0.02,
+        }
+    }
+}
+
+impl ProvisioningModel {
+    /// Provision an n-node cluster. Node boots run in parallel (the
+    /// makespan is the slowest node); assembly is a serial tail.
+    /// `warm` nodes come from the pool, the rest cold-boot.
+    pub fn provision(&self, nodes: u32, warm_pool: Option<&mut WarmPool>, rng: &mut SimRng) -> SimTime {
+        assert!(nodes > 0);
+        let warm = warm_pool.map_or(0, |p| p.take(nodes));
+        let cold = nodes - warm;
+        let mut makespan = SimTime::ZERO;
+        for _ in 0..warm {
+            let wf = Workflow::new("warm-attach").step(StepSpec {
+                name: "attach".into(),
+                duration: self.warm_attach.clone(),
+                failure_prob: 0.005,
+                max_attempts: 3,
+                timeout_secs: f64::INFINITY,
+            });
+            makespan = makespan.max(wf.execute(rng).total);
+        }
+        for _ in 0..cold {
+            let wf = Workflow::new("cold-boot").step(StepSpec {
+                name: "boot".into(),
+                duration: self.cold_boot.clone(),
+                failure_prob: self.boot_failure_prob,
+                max_attempts: 4,
+                timeout_secs: f64::INFINITY,
+            });
+            makespan = makespan.max(wf.execute(rng).total);
+        }
+        makespan + SimTime::from_secs_f64(self.assembly.sample(rng).max(0.0))
+    }
+
+    /// Mean provisioning time over `trials` seeded runs (minutes).
+    pub fn mean_minutes(&self, nodes: u32, warm_capacity: Option<u32>, trials: u32, seed: u64) -> f64 {
+        self.percentiles(nodes, warm_capacity, trials, seed).mean
+    }
+
+    /// Distribution summary over `trials` seeded runs (minutes) — the
+    /// warm-pool ablation cares about the tail, not just the mean:
+    /// an undersized pool shows up at p99 first.
+    pub fn percentiles(
+        &self,
+        nodes: u32,
+        warm_capacity: Option<u32>,
+        trials: u32,
+        seed: u64,
+    ) -> ProvisioningStats {
+        let mut rng = SimRng::seeded(seed);
+        let mut mins: Vec<f64> = (0..trials)
+            .map(|_| {
+                let mut pool = warm_capacity.map(WarmPool::new);
+                self.provision(nodes, pool.as_mut(), &mut rng).as_mins_f64()
+            })
+            .collect();
+        mins.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |q: f64| mins[((mins.len() - 1) as f64 * q).round() as usize];
+        ProvisioningStats {
+            mean: mins.iter().sum::<f64>() / mins.len() as f64,
+            p50: pct(0.50),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Provisioning-time distribution (minutes).
+#[derive(Debug, Clone, Copy)]
+pub struct ProvisioningStats {
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_provisioning_is_about_fifteen_minutes() {
+        let m = ProvisioningModel::default();
+        let mins = m.mean_minutes(16, None, 200, 42);
+        assert!((11.0..=22.0).contains(&mins), "cold 16-node: {mins:.1} min");
+    }
+
+    #[test]
+    fn warm_pool_cuts_to_about_three_minutes() {
+        let m = ProvisioningModel::default();
+        let mins = m.mean_minutes(16, Some(64), 200, 42);
+        assert!((2.0..=5.0).contains(&mins), "warm 16-node: {mins:.1} min");
+    }
+
+    #[test]
+    fn warm_speedup_is_roughly_five_x() {
+        let m = ProvisioningModel::default();
+        let cold = m.mean_minutes(4, None, 300, 7);
+        let warm = m.mean_minutes(4, Some(16), 300, 7);
+        let ratio = cold / warm;
+        assert!((3.0..=8.0).contains(&ratio), "speedup {ratio:.1}x");
+    }
+
+    #[test]
+    fn provisioning_flat_in_cluster_size() {
+        // Parallel boots: 128 nodes ≈ 2 nodes (slowest-node + tail).
+        let m = ProvisioningModel::default();
+        let small = m.mean_minutes(2, None, 200, 11);
+        let big = m.mean_minutes(128, None, 200, 11);
+        assert!(big / small < 2.2, "small={small:.1} big={big:.1}");
+    }
+
+    #[test]
+    fn undersized_pool_shows_up_at_p99() {
+        // A pool that usually covers the ask but sometimes runs short
+        // keeps a warm p50 while p99 degrades toward cold timing.
+        let m = ProvisioningModel::default();
+        let roomy = m.percentiles(8, Some(32), 300, 21);
+        let tight = m.percentiles(8, Some(6), 300, 21); // 6 warm for 8 nodes
+        assert!(tight.p50 > roomy.p50, "partial cold boots dominate: {tight:?} vs {roomy:?}");
+        assert!(tight.p99 > roomy.p99 * 2.0, "{tight:?} vs {roomy:?}");
+        assert!(roomy.p99 < 6.0, "fully warm stays fast at the tail: {roomy:?}");
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_to_cold() {
+        let m = ProvisioningModel::default();
+        let mut rng = SimRng::seeded(5);
+        let mut pool = WarmPool::new(2);
+        // 8-node ask with only 2 warm → mostly cold timing.
+        let t = m.provision(8, Some(&mut pool), &mut rng);
+        assert!(t.as_mins_f64() > 8.0, "{t}");
+        assert_eq!(pool.available(), 0);
+        pool.refill();
+        assert_eq!(pool.available(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Figure 5: Sev2 tickets per cluster under Pareto-driven fixing.
+//!
+//! §5: "We page ourselves on each database failure … we collect error
+//! logs across our fleet and monitor tickets to understand top ten causes
+//! of error, with the aim of extinguishing one of the top ten causes of
+//! error each week." Figure 5 shows tickets *per cluster* declining over
+//! time even as the fleet grows — the model here reproduces exactly that
+//! process: heavy-tailed error causes, weekly extinguishing of the top
+//! observed cause, and a new-cause inflow from the feature firehose.
+
+use redsim_simkit::SimRng;
+
+/// Fleet-model parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Clusters at week 0.
+    pub initial_clusters: f64,
+    /// Weekly fleet growth rate (Redshift was AWS's fastest-growing
+    /// service; ~2.5%/week ≈ 3.6×/year).
+    pub weekly_growth: f64,
+    /// Error causes present at launch.
+    pub initial_causes: usize,
+    /// Pareto shape for cause frequencies (heavier tail = lower alpha).
+    pub cause_alpha: f64,
+    /// Base rate: tickets per cluster-week contributed by a cause of
+    /// unit weight.
+    pub base_rate: f64,
+    /// New causes introduced per week (each feature can regress).
+    pub new_causes_per_week: f64,
+    /// Causes extinguished per week (the Pareto process).
+    pub fixes_per_week: usize,
+    pub horizon_weeks: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            initial_clusters: 200.0,
+            weekly_growth: 0.025,
+            initial_causes: 60,
+            cause_alpha: 1.16, // classic 80/20
+            base_rate: 0.002,
+            new_causes_per_week: 0.8,
+            fixes_per_week: 1,
+            horizon_weeks: 104,
+        }
+    }
+}
+
+/// One week's fleet telemetry.
+#[derive(Debug, Clone)]
+pub struct WeeklyFleetSample {
+    pub week: u32,
+    pub clusters: f64,
+    pub tickets: f64,
+    pub tickets_per_cluster: f64,
+    pub active_causes: usize,
+}
+
+/// Result of the fleet simulation.
+#[derive(Debug, Clone)]
+pub struct FleetSimulation {
+    pub weeks: Vec<WeeklyFleetSample>,
+}
+
+impl FleetSimulation {
+    /// Ratio of final to initial tickets-per-cluster (the Figure 5 decay).
+    pub fn decay_ratio(&self) -> f64 {
+        let first = self.weeks.first().map_or(1.0, |w| w.tickets_per_cluster);
+        let last = self.weeks.last().map_or(1.0, |w| w.tickets_per_cluster);
+        if first == 0.0 {
+            1.0
+        } else {
+            last / first
+        }
+    }
+}
+
+/// Run the Figure 5 fleet model.
+pub fn simulate_fleet(cfg: &FleetConfig, seed: u64) -> FleetSimulation {
+    let mut rng = SimRng::seeded(seed);
+    // Cause weights: heavy-tailed, so a few causes dominate paging.
+    let mut causes: Vec<f64> =
+        (0..cfg.initial_causes).map(|_| rng.pareto(1.0, cfg.cause_alpha)).collect();
+    let mut new_cause_accum = 0.0f64;
+    let mut clusters = cfg.initial_clusters;
+    let mut weeks = Vec::with_capacity(cfg.horizon_weeks as usize);
+    for week in 0..cfg.horizon_weeks {
+        // Tickets this week: each cause fires proportional to its weight
+        // and the fleet size (every cluster can hit it).
+        let weight_sum: f64 = causes.iter().sum();
+        let expected = weight_sum * cfg.base_rate * clusters;
+        // Poisson-ish noise via normal approximation, clamped.
+        let noise = rng.normal(0.0, expected.sqrt().max(0.1));
+        let tickets = (expected + noise).max(0.0);
+        weeks.push(WeeklyFleetSample {
+            week,
+            clusters,
+            tickets,
+            tickets_per_cluster: tickets / clusters,
+            active_causes: causes.len(),
+        });
+        // Pareto process: extinguish the top observed cause(s).
+        for _ in 0..cfg.fixes_per_week {
+            if let Some((idx, _)) = causes
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            {
+                causes.swap_remove(idx);
+            }
+        }
+        // New causes arrive with the feature stream (smaller on average:
+        // review + testing catch the worst).
+        new_cause_accum += cfg.new_causes_per_week;
+        while new_cause_accum >= 1.0 {
+            causes.push(rng.pareto(0.4, cfg.cause_alpha + 0.5));
+            new_cause_accum -= 1.0;
+        }
+        clusters *= 1.0 + cfg.weekly_growth;
+    }
+    FleetSimulation { weeks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_per_cluster_decay_despite_fleet_growth() {
+        let sim = simulate_fleet(&FleetConfig::default(), 2015);
+        let ratio = sim.decay_ratio();
+        assert!(ratio < 0.5, "tickets/cluster should decay: ratio {ratio:.3}");
+        // Fleet grew the whole time.
+        assert!(sim.weeks.last().unwrap().clusters > sim.weeks[0].clusters * 5.0);
+    }
+
+    #[test]
+    fn early_decline_is_steep_then_flattens() {
+        // Heavy tail means the first fixes remove the most pain.
+        let sim = simulate_fleet(&FleetConfig::default(), 7);
+        let tpc: Vec<f64> = sim.weeks.iter().map(|w| w.tickets_per_cluster).collect();
+        let early_drop = avg(&tpc[..8]) - avg(&tpc[20..28]);
+        let late_drop = avg(&tpc[60..68]) - avg(&tpc[88..96]);
+        assert!(
+            early_drop > late_drop,
+            "early {early_drop:.4} vs late {late_drop:.4}"
+        );
+    }
+
+    fn avg(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn without_fixes_tickets_grow_with_new_causes() {
+        let cfg = FleetConfig { fixes_per_week: 0, ..Default::default() };
+        let sim = simulate_fleet(&cfg, 3);
+        // Counterfactual: no Pareto process → no per-cluster decay.
+        assert!(sim.decay_ratio() > 0.7, "ratio {:.3}", sim.decay_ratio());
+    }
+
+    #[test]
+    fn total_tickets_correlate_with_business_success() {
+        // §5: "operational load roughly correlates to business success" —
+        // absolute tickets can rise while per-cluster falls.
+        let cfg = FleetConfig { weekly_growth: 0.05, ..Default::default() };
+        let sim = simulate_fleet(&cfg, 11);
+        let early = avg_tickets(&sim, 0, 8);
+        let late = avg_tickets(&sim, 90, 104);
+        let early_pc = avg_tpc(&sim, 0, 8);
+        let late_pc = avg_tpc(&sim, 90, 104);
+        assert!(late_pc < early_pc, "per-cluster falls");
+        assert!(late > early * 0.3, "absolute volume sustained by growth");
+    }
+
+    fn avg_tickets(sim: &FleetSimulation, a: usize, b: usize) -> f64 {
+        let s: f64 = sim.weeks[a..b.min(sim.weeks.len())].iter().map(|w| w.tickets).sum();
+        s / (b - a) as f64
+    }
+
+    fn avg_tpc(sim: &FleetSimulation, a: usize, b: usize) -> f64 {
+        let s: f64 =
+            sim.weeks[a..b.min(sim.weeks.len())].iter().map(|w| w.tickets_per_cluster).sum();
+        s / (b - a) as f64
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_fleet(&FleetConfig::default(), 5);
+        let b = simulate_fleet(&FleetConfig::default(), 5);
+        assert_eq!(a.weeks.len(), b.weeks.len());
+        for (x, y) in a.weeks.iter().zip(&b.weeks) {
+            assert_eq!(x.tickets, y.tickets);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Cluster configuration.
+//!
+//! Deliberately small — §3.3: "The main things set by a customer are
+//! instance type and number of nodes for the database cluster, and sort
+//! and distribution model used for individual tables." Everything else
+//! has a default the system owns.
+
+/// Configuration for [`crate::Cluster::launch`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub name: String,
+    /// Compute nodes ("single-node design" shares leader+compute: 1).
+    pub nodes: u32,
+    /// Slices per node — one per core in the paper.
+    pub slices_per_node: u32,
+    /// Replica-placement cohort size.
+    pub cohort_size: u32,
+    /// Rows per row group (block granularity).
+    pub rows_per_group: usize,
+    /// Encrypt all data at rest (block→cluster→master key hierarchy).
+    pub encryption: bool,
+    /// Home region for backups.
+    pub region: String,
+    /// Optional disaster-recovery region (§3.2's checkbox).
+    pub dr_region: Option<String>,
+    /// Plan-compilation work units per plan node (0 = free compilation,
+    /// useful in unit tests; benches use the calibrated default).
+    pub compile_work_per_node: u64,
+    /// Compiled-plan cache capacity.
+    pub plan_cache_size: usize,
+    /// Retained system snapshots before aging out.
+    pub system_snapshot_retention: usize,
+    /// Seed for the cluster's internal randomness (keys, nonces).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    pub fn new(name: impl Into<String>) -> Self {
+        ClusterConfig {
+            name: name.into(),
+            nodes: 2,
+            slices_per_node: 2,
+            cohort_size: 4,
+            rows_per_group: 4_096,
+            encryption: false,
+            region: "us-east-1".into(),
+            dr_region: None,
+            compile_work_per_node: 0,
+            plan_cache_size: 64,
+            system_snapshot_retention: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    pub fn slices_per_node(mut self, s: u32) -> Self {
+        self.slices_per_node = s;
+        self
+    }
+
+    pub fn cohort_size(mut self, k: u32) -> Self {
+        self.cohort_size = k;
+        self
+    }
+
+    pub fn rows_per_group(mut self, r: usize) -> Self {
+        self.rows_per_group = r;
+        self
+    }
+
+    pub fn encrypted(mut self, on: bool) -> Self {
+        self.encryption = on;
+        self
+    }
+
+    pub fn region(mut self, r: impl Into<String>) -> Self {
+        self.region = r.into();
+        self
+    }
+
+    pub fn dr_region(mut self, r: impl Into<String>) -> Self {
+        self.dr_region = Some(r.into());
+        self
+    }
+
+    pub fn compile_work(mut self, units: u64) -> Self {
+        self.compile_work_per_node = units;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Total slices.
+    pub fn total_slices(&self) -> u32 {
+        self.nodes * self.slices_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = ClusterConfig::new("c")
+            .nodes(8)
+            .slices_per_node(4)
+            .encrypted(true)
+            .dr_region("eu-west-1");
+        assert_eq!(c.total_slices(), 32);
+        assert!(c.encryption);
+        assert_eq!(c.dr_region.as_deref(), Some("eu-west-1"));
+    }
+}

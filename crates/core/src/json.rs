@@ -1,0 +1,270 @@
+//! A minimal JSON parser for `COPY … FORMAT JSON`.
+//!
+//! §2.1: "COPY also directly supports ingestion of JSON data." This
+//! parser covers the JSON-lines shape such loads use: one object per
+//! line, values of string / number / bool / null (nested arrays/objects
+//! are parsed but rejected as column values by the loader).
+
+use redsim_common::{Result, RsError};
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+/// Parse a complete JSON document.
+pub fn parse(text: &str) -> Result<JsonValue> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(RsError::Parse(format!(
+            "trailing characters at byte {} of JSON document",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, what: &str) -> Result<T> {
+        Err(RsError::Parse(format!("JSON: {what} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected {word}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| RsError::Parse("bad \\u escape".into()))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| RsError::Parse("bad \\u escape".into()))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a UTF-8 run.
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c != b'"' && c != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| RsError::Parse("invalid UTF-8 in JSON string".into()))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| RsError::Parse(format!("invalid JSON number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typical_log_line() {
+        let v = parse(
+            r#"{"user_id": 42, "url": "https://a.com/x?q=1", "ok": true, "ref": null, "lat": -1.5e2}"#,
+        )
+        .unwrap();
+        if let JsonValue::Object(m) = v {
+            assert_eq!(m["user_id"], JsonValue::Number(42.0));
+            assert_eq!(m["ok"], JsonValue::Bool(true));
+            assert_eq!(m["ref"], JsonValue::Null);
+            assert_eq!(m["lat"], JsonValue::Number(-150.0));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#"{"s": "a\"b\\c\ndé"}"#).unwrap();
+        if let JsonValue::Object(m) = v {
+            assert_eq!(m["s"], JsonValue::String("a\"b\\c\ndé".into()));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = parse(r#"[1, [2, 3], {"a": []}]"#).unwrap();
+        if let JsonValue::Array(items) = v {
+            assert_eq!(items.len(), 3);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(BTreeMap::new()));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+    }
+}

@@ -1,0 +1,219 @@
+//! COPY parsing: CSV and JSON-lines into column batches.
+
+use crate::json::{self, JsonValue};
+use redsim_common::{ColumnData, DataType, Result, RsError, Schema, Value};
+
+/// Parse one CSV object (text blob) into a column batch matching `schema`.
+/// Empty fields are NULL; `delimiter` separates fields; a trailing
+/// newline is tolerated. No quoting (the paper-era COPY default is
+/// delimiter-separated text; quoted CSV arrived later).
+pub fn parse_csv(text: &str, delimiter: char, schema: &Schema) -> Result<Vec<ColumnData>> {
+    let mut cols: Vec<ColumnData> =
+        schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(delimiter).collect();
+        if fields.len() != schema.len() {
+            return Err(RsError::Analysis(format!(
+                "line {}: {} fields, expected {}",
+                lineno + 1,
+                fields.len(),
+                schema.len()
+            )));
+        }
+        for (col, (field, def)) in cols.iter_mut().zip(fields.iter().zip(schema.columns())) {
+            let v = parse_field(field, def.data_type)
+                .map_err(|e| RsError::Analysis(format!("line {}: {e}", lineno + 1)))?;
+            if v.is_null() && !def.nullable {
+                return Err(RsError::Analysis(format!(
+                    "line {}: NULL in NOT NULL column {:?}",
+                    lineno + 1,
+                    def.name
+                )));
+            }
+            col.push_value(&v)?;
+        }
+    }
+    Ok(cols)
+}
+
+/// Parse a text field by target type. Empty string = NULL.
+pub fn parse_field(s: &str, ty: DataType) -> Result<Value> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    let bad = || RsError::Parse(format!("cannot parse {s:?} as {ty}"));
+    Ok(match ty {
+        DataType::Bool => match s.to_ascii_lowercase().as_str() {
+            "t" | "true" | "1" | "y" | "yes" => Value::Bool(true),
+            "f" | "false" | "0" | "n" | "no" => Value::Bool(false),
+            _ => return Err(bad()),
+        },
+        DataType::Int2 => Value::Int2(s.parse().map_err(|_| bad())?),
+        DataType::Int4 => Value::Int4(s.parse().map_err(|_| bad())?),
+        DataType::Int8 => Value::Int8(s.parse().map_err(|_| bad())?),
+        DataType::Float8 => Value::Float8(s.parse().map_err(|_| bad())?),
+        DataType::Varchar => Value::Str(s.to_string()),
+        DataType::Date => Value::Date(redsim_common::types::parse_date(s)?),
+        DataType::Timestamp => Value::Timestamp(redsim_common::types::parse_timestamp(s)?),
+        DataType::Decimal(_, scale) => {
+            Value::Decimal { units: redsim_common::types::parse_decimal(s, scale)?, scale }
+        }
+    })
+}
+
+/// Parse JSON-lines (one object per line) into a column batch. Columns
+/// are matched by (case-insensitive) field name; absent fields are NULL.
+pub fn parse_json_lines(text: &str, schema: &Schema) -> Result<Vec<ColumnData>> {
+    let mut cols: Vec<ColumnData> =
+        schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = json::parse(line)
+            .map_err(|e| RsError::Analysis(format!("line {}: {e}", lineno + 1)))?;
+        let obj = match doc {
+            JsonValue::Object(m) => m,
+            _ => {
+                return Err(RsError::Analysis(format!(
+                    "line {}: JSON loads need one object per line",
+                    lineno + 1
+                )))
+            }
+        };
+        for (col, def) in cols.iter_mut().zip(schema.columns()) {
+            // Field lookup is case-insensitive to match identifier folding.
+            let jv = obj
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(&def.name))
+                .map(|(_, v)| v);
+            let v = match jv {
+                None | Some(JsonValue::Null) => Value::Null,
+                Some(JsonValue::Bool(b)) => Value::Bool(*b).coerce_to(def.data_type)?,
+                Some(JsonValue::Number(x)) => number_to_value(*x, def.data_type)?,
+                Some(JsonValue::String(s)) => parse_field(s, def.data_type)?,
+                Some(other) => {
+                    return Err(RsError::Analysis(format!(
+                        "line {}: nested JSON ({other:?}) cannot load into column {:?}",
+                        lineno + 1,
+                        def.name
+                    )))
+                }
+            };
+            if v.is_null() && !def.nullable {
+                return Err(RsError::Analysis(format!(
+                    "line {}: NULL in NOT NULL column {:?}",
+                    lineno + 1,
+                    def.name
+                )));
+            }
+            col.push_value(&v)?;
+        }
+    }
+    Ok(cols)
+}
+
+fn number_to_value(x: f64, ty: DataType) -> Result<Value> {
+    Ok(match ty {
+        DataType::Float8 => Value::Float8(x),
+        DataType::Decimal(_, scale) => {
+            let units = (x * 10f64.powi(scale as i32)).round() as i128;
+            Value::Decimal { units, scale }
+        }
+        _ if x.fract() == 0.0 && x.abs() < 9.2e18 => {
+            Value::Int8(x as i64).coerce_to(ty)?
+        }
+        _ => {
+            return Err(RsError::Analysis(format!(
+                "JSON number {x} does not fit column type {ty}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsim_common::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int8).not_null(),
+            ColumnDef::new("url", DataType::Varchar),
+            ColumnDef::new("d", DataType::Date),
+            ColumnDef::new("amount", DataType::Decimal(10, 2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_happy_path() {
+        let cols = parse_csv(
+            "1,http://a,2015-05-31,9.99\n2,,2015-06-01,\n",
+            ',',
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(cols[0].len(), 2);
+        assert_eq!(cols[1].get_str(0), Some("http://a"));
+        assert!(cols[1].is_null(1));
+        assert!(cols[3].is_null(1));
+        assert_eq!(cols[3].get(0).to_string(), "9.99");
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        let err = parse_csv("1,a,2015-05-31\n", ',', &schema()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse_csv("1,a,2015-05-31,1\n,b,2015-05-31,1\n", ',', &schema()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("NOT NULL"), "{err}");
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let cols = parse_csv("5|x|2015-01-01|1.5\n", '|', &schema()).unwrap();
+        assert_eq!(cols[0].get_i64(0), Some(5));
+    }
+
+    #[test]
+    fn json_lines_by_name() {
+        let cols = parse_json_lines(
+            r#"{"id": 1, "URL": "http://a", "d": "2015-05-31", "amount": 9.99}
+               {"id": 2, "extra": "ignored"}"#,
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(cols[0].len(), 2);
+        assert_eq!(cols[1].get_str(0), Some("http://a"), "case-insensitive name match");
+        assert!(cols[1].is_null(1), "absent field loads NULL");
+        assert_eq!(cols[3].get(0).to_string(), "9.99");
+    }
+
+    #[test]
+    fn json_rejects_nested_and_nonobject() {
+        let s = schema();
+        assert!(parse_json_lines(r#"{"id": 1, "url": ["a"], "d": null, "amount": null}"#, &s)
+            .is_err());
+        assert!(parse_json_lines("[1,2,3]", &s).is_err());
+        assert!(parse_json_lines(r#"{"id": null}"#, &s).is_err(), "NOT NULL enforced");
+    }
+
+    #[test]
+    fn field_parsing_types() {
+        assert_eq!(parse_field("t", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(parse_field(" 42 ", DataType::Int4).unwrap(), Value::Int4(42));
+        assert!(parse_field("4.2", DataType::Int4).is_err());
+        assert_eq!(
+            parse_field("2015-05-31 10:00:00", DataType::Timestamp)
+                .unwrap()
+                .to_string(),
+            "2015-05-31 10:00:00"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # redsim-crypto
+//!
+//! Encryption at rest, reproducing §3.2 of the paper:
+//!
+//! > "Under the covers, we generate block-specific encryption keys (to
+//! > avoid injection attacks from one block to another), wrap these with
+//! > cluster-specific keys (to avoid injection attacks from one cluster
+//! > to another), and further wrap these with a master key, stored by us
+//! > off-network or via the customer-specified HSM. … Key rotation is
+//! > straightforward as it only involves re-encrypting block keys or
+//! > cluster keys, not the entire database. Repudiation … only involves
+//! > losing access to the customer's key."
+//!
+//! * [`xtea`] — a from-scratch XTEA block cipher with a CTR-mode stream
+//!   construction. (No external crypto crates are permitted in this
+//!   reproduction; XTEA is compact, well-specified, and adequate for
+//!   demonstrating the *key-management architecture*, which is what the
+//!   paper is about. It is **not** a recommendation for production use.)
+//! * [`keys`] — key generation, authenticated key wrap, the
+//!   block → cluster → master hierarchy, an [`keys::HsmSim`], rotation
+//!   and repudiation.
+//! * [`envelope`] — per-block envelope encryption of payload bytes.
+
+pub mod envelope;
+pub mod keys;
+pub mod xtea;
+
+pub use envelope::{decrypt_payload, encrypt_payload, EncryptedPayload};
+pub use keys::{unwrap_key, wrap_key, ClusterKeyring, HsmSim, Key, KeyId, WrappedKey};

@@ -1,0 +1,28 @@
+//! # redsim-distribution
+//!
+//! How rows map onto the cluster (§2.1 of the paper):
+//!
+//! > "Data stored within each Amazon Redshift table is automatically
+//! > distributed both across compute nodes … and within a compute node …
+//! > A compute node is partitioned into slices; one slice for each core.
+//! > The user can specify whether data is distributed in a round robin
+//! > fashion, hashed according to a distribution key, or duplicated on
+//! > all slices."
+//!
+//! * [`topology`] — nodes × slices, global slice ids, and **cohorts**:
+//!   the bounded replica-placement groups the paper uses "to limit the
+//!   number of slices impacted by an individual disk or node failure".
+//! * [`style`] — `EVEN` / `KEY` / `ALL` distribution and the row router.
+//! * [`locality`] — the join-distribution classifier: given two tables'
+//!   styles and the join keys, decide `DS_DIST_NONE` (co-located),
+//!   `DS_BCAST_INNER` (broadcast the inner), or `DS_DIST_BOTH`
+//!   (redistribute both) — the decision that "avoid\[s\] the redistribution
+//!   of intermediate results during query execution".
+
+pub mod locality;
+pub mod style;
+pub mod topology;
+
+pub use locality::{classify_join, JoinDistStrategy};
+pub use style::{DistStyle, RowRouter};
+pub use topology::{ClusterTopology, CohortMap, NodeId, SliceId};

@@ -1,0 +1,32 @@
+//! # redsim-engine
+//!
+//! Query execution (§2.1 of the paper):
+//!
+//! > "The executable and plan parameters are sent to each compute node
+//! > participating in the query. … Each slice in the compute node may run
+//! > multiple operations such as scanning, filtering, processing joins,
+//! > etc., in parallel."
+//!
+//! * [`expr`] — vectorized (batch-at-a-time) expression evaluation.
+//! * [`interp`] — a deliberately row-at-a-time, `Value`-boxed interpreter:
+//!   the non-compiled comparator for the paper's claim that query
+//!   compilation's "fixed overhead per query … is generally amortized by
+//!   the tighter execution" (experiment E7).
+//! * [`exec`] — the distributed executor: per-slice parallel fragments
+//!   (crossbeam scoped threads), broadcast/redistribute exchanges with
+//!   byte accounting (experiment E11), partial/final aggregation at the
+//!   leader.
+//! * [`compile`] — query "compilation": plan specialization with a
+//!   deliberate fixed cost, plus the LRU plan cache that amortizes it.
+//! * [`baseline`] — a single-threaded, row-oriented engine standing in
+//!   for the intro's legacy scale-out warehouse (experiment E1).
+
+pub mod baseline;
+pub mod compile;
+pub mod exec;
+pub mod expr;
+pub mod hashkey;
+pub mod interp;
+
+pub use compile::{CompiledQuery, PlanCache};
+pub use exec::{ExecMetrics, Executor, QueryOutput, TableProvider};

@@ -1,0 +1,33 @@
+//! # redsim-replication
+//!
+//! The durability substrate of §2.1–2.2:
+//!
+//! > "Each data block is synchronously written to both its primary slice
+//! > as well as to at least one secondary on a separate node. … Data
+//! > blocks are also asynchronously and automatically backed up to Amazon
+//! > S3 … The primary, secondary and Amazon S3 copies of the data block
+//! > are each available for read, making media failures transparent."
+//!
+//! * [`s3sim`] — a multi-region durable object store standing in for
+//!   Amazon S3 (the paper's hardware/service gate; see DESIGN.md §5).
+//! * [`mirror`] — per-node block stores wrapped by a cluster-wide
+//!   [`mirror::ReplicatedStore`]: synchronous primary+secondary writes
+//!   with cohort-constrained placement, read fall-through
+//!   primary → secondary → S3, failure injection, and re-replication.
+//! * [`backup`] — continuous incremental snapshots: only blocks S3 has
+//!   not seen are uploaded; system snapshots age out; user snapshots
+//!   persist; optional second-region copies for disaster recovery.
+//! * [`restore`] — **streaming restore**: a store that serves reads by
+//!   page-faulting blocks from S3 while a background process hydrates
+//!   the rest, so "the database \[can\] be opened for SQL operations after
+//!   metadata and catalog restoration".
+
+pub mod backup;
+pub mod mirror;
+pub mod restore;
+pub mod s3sim;
+
+pub use backup::{BackupManager, SnapshotInfo, SnapshotKind};
+pub use mirror::{NodeStore, ReplicatedStore};
+pub use restore::StreamingRestoreStore;
+pub use s3sim::S3Sim;

@@ -1,0 +1,431 @@
+//! Synchronous primary/secondary block mirroring with cohort placement.
+
+use crate::s3sim::S3Sim;
+use parking_lot::{Mutex, RwLock};
+use redsim_common::{FxHashMap, Result, RsError};
+use redsim_distribution::{CohortMap, NodeId};
+use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};
+use std::sync::Arc;
+
+/// Where a block's replicas live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    pub primary: NodeId,
+    pub secondary: Option<NodeId>,
+}
+
+/// Cluster-wide replicated storage shared by all nodes.
+pub struct ReplicatedStore {
+    nodes: Vec<Arc<MemBlockStore>>,
+    alive: RwLock<Vec<bool>>,
+    cohorts: CohortMap,
+    placements: RwLock<FxHashMap<u64, Placement>>,
+    s3: Arc<S3Sim>,
+    region: String,
+    bucket: String,
+    /// Blocks written but not yet uploaded to S3 (the async backup queue).
+    backup_queue: Mutex<Vec<BlockId>>,
+    /// Read path telemetry.
+    secondary_reads: Mutex<u64>,
+    s3_reads: Mutex<u64>,
+}
+
+impl ReplicatedStore {
+    pub fn new(
+        n_nodes: u32,
+        cohort_size: u32,
+        s3: Arc<S3Sim>,
+        region: impl Into<String>,
+        bucket: impl Into<String>,
+    ) -> Result<Arc<Self>> {
+        Ok(Arc::new(ReplicatedStore {
+            nodes: (0..n_nodes).map(|_| Arc::new(MemBlockStore::new())).collect(),
+            alive: RwLock::new(vec![true; n_nodes as usize]),
+            cohorts: CohortMap::new(n_nodes, cohort_size)?,
+            placements: RwLock::new(FxHashMap::default()),
+            s3,
+            region: region.into(),
+            bucket: bucket.into(),
+            backup_queue: Mutex::new(Vec::new()),
+            secondary_reads: Mutex::new(0),
+            s3_reads: Mutex::new(0),
+        }))
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn s3_key(&self, id: BlockId) -> String {
+        format!("{}/blocks/{:016x}", self.bucket, id.0)
+    }
+
+    /// A per-node handle implementing [`BlockStore`]; writes through this
+    /// handle place the primary replica on that node.
+    pub fn node_store(self: &Arc<Self>, node: NodeId) -> NodeStore {
+        assert!((node.0 as usize) < self.nodes.len());
+        NodeStore { node, inner: Arc::clone(self) }
+    }
+
+    fn node_alive(&self, node: NodeId) -> bool {
+        self.alive.read()[node.0 as usize]
+    }
+
+    /// Synchronous dual write: primary on `node`, secondary in-cohort.
+    fn put_from(&self, node: NodeId, block: EncodedBlock) -> Result<()> {
+        if !self.node_alive(node) {
+            return Err(RsError::FaultInjected(format!("{node} is down")));
+        }
+        let id = block.id;
+        let mut secondary = self.cohorts.secondary_for(node, id.0);
+        // Skip dead secondaries: pick another cohort member if possible.
+        if let Some(s) = secondary {
+            if !self.node_alive(s) {
+                secondary = self
+                    .cohorts
+                    .members(node)
+                    .into_iter()
+                    .find(|&m| m != node && self.node_alive(m));
+            }
+        }
+        self.nodes[node.0 as usize].put(block.clone())?;
+        if let Some(s) = secondary {
+            self.nodes[s.0 as usize].put(block)?;
+        }
+        self.placements.write().insert(id.0, Placement { primary: node, secondary });
+        self.backup_queue.lock().push(id);
+        Ok(())
+    }
+
+    /// Read with fall-through: primary → secondary → S3.
+    pub fn get_any(&self, id: BlockId) -> Result<Arc<EncodedBlock>> {
+        let placement = self.placements.read().get(&id.0).copied();
+        if let Some(p) = placement {
+            if self.node_alive(p.primary) {
+                if let Ok(b) = self.nodes[p.primary.0 as usize].get(id) {
+                    return Ok(b);
+                }
+            }
+            if let Some(s) = p.secondary {
+                if self.node_alive(s) {
+                    if let Ok(b) = self.nodes[s.0 as usize].get(id) {
+                        *self.secondary_reads.lock() += 1;
+                        return Ok(b);
+                    }
+                }
+            }
+        }
+        // Page-fault from S3 ("making media failures transparent").
+        let bytes = self.s3.get(&self.region, &self.s3_key(id)).map_err(|_| {
+            RsError::Replication(format!("{id} unavailable on all replicas and S3"))
+        })?;
+        *self.s3_reads.lock() += 1;
+        Ok(Arc::new(EncodedBlock::deserialize(&bytes)?))
+    }
+
+    /// Drain the async backup queue to S3; returns blocks uploaded.
+    /// (In the real service this runs continuously; tests and the backup
+    /// manager call it explicitly for determinism.)
+    pub fn drain_backup_queue(&self) -> Result<usize> {
+        let pending: Vec<BlockId> = std::mem::take(&mut *self.backup_queue.lock());
+        let mut uploaded = 0;
+        for id in pending {
+            let key = self.s3_key(id);
+            if self.s3.exists(&self.region, &key) {
+                continue; // incremental: S3 already has it
+            }
+            match self.get_any(id) {
+                Ok(block) => {
+                    self.s3.put(&self.region, &key, block.serialize());
+                    uploaded += 1;
+                }
+                Err(_) => {
+                    // Deleted before upload; skip.
+                }
+            }
+        }
+        Ok(uploaded)
+    }
+
+    /// Blocks still awaiting S3 upload (durability-window accounting).
+    pub fn backup_backlog(&self) -> usize {
+        self.backup_queue.lock().len()
+    }
+
+    /// Fail a node: local data evaporates, reads fall through.
+    pub fn kill_node(&self, node: NodeId) {
+        self.alive.write()[node.0 as usize] = false;
+    }
+
+    /// Bring a (replaced) node back empty.
+    pub fn revive_node(&self, node: NodeId) {
+        // The replacement arrives blank.
+        let fresh = Arc::new(MemBlockStore::new());
+        // Safety: we can't swap the Arc in-place without unsafe; instead
+        // clear by deleting known blocks hosted there.
+        let placements = self.placements.read();
+        for (&idraw, p) in placements.iter() {
+            if p.primary == node || p.secondary == Some(node) {
+                self.nodes[node.0 as usize].delete(BlockId(idraw));
+            }
+        }
+        drop(placements);
+        let _ = fresh; // replacement modeled by the deletes above
+        self.alive.write()[node.0 as usize] = true;
+    }
+
+    /// Re-replicate every block that lost a replica on `failed`.
+    /// Returns (blocks re-replicated, bytes copied) — the "resource
+    /// impact of re-replication" the cohort design bounds.
+    pub fn re_replicate(&self, failed: NodeId) -> Result<(usize, u64)> {
+        let affected: Vec<(u64, Placement)> = self
+            .placements
+            .read()
+            .iter()
+            .filter(|(_, p)| p.primary == failed || p.secondary == Some(failed))
+            .map(|(&id, &p)| (id, p))
+            .collect();
+        let mut blocks = 0usize;
+        let mut bytes = 0u64;
+        for (idraw, old) in affected {
+            let id = BlockId(idraw);
+            let block = self.get_any(id)?;
+            // New primary: the survivor; new secondary: another live
+            // cohort member.
+            let survivor = if old.primary == failed {
+                old.secondary.filter(|&s| self.node_alive(s))
+            } else {
+                Some(old.primary).filter(|&p| self.node_alive(p))
+            };
+            let survivor = survivor.ok_or_else(|| {
+                RsError::Replication(format!("{id}: no surviving on-cluster replica"))
+            })?;
+            let new_secondary = self
+                .cohorts
+                .members(survivor)
+                .into_iter()
+                .find(|&m| m != survivor && m != failed && self.node_alive(m));
+            if let Some(ns) = new_secondary {
+                self.nodes[ns.0 as usize].put((*block).clone())?;
+                bytes += block.byte_size() as u64;
+            }
+            self.placements
+                .write()
+                .insert(idraw, Placement { primary: survivor, secondary: new_secondary });
+            blocks += 1;
+        }
+        Ok((blocks, bytes))
+    }
+
+    pub fn placement_of(&self, id: BlockId) -> Option<Placement> {
+        self.placements.read().get(&id.0).copied()
+    }
+
+    /// (secondary reads, s3 page-fault reads) served so far.
+    pub fn fallthrough_stats(&self) -> (u64, u64) {
+        (*self.secondary_reads.lock(), *self.s3_reads.lock())
+    }
+
+    /// Total bytes held across all node-local stores.
+    pub fn local_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.total_bytes()).sum()
+    }
+
+    fn delete_everywhere(&self, id: BlockId) {
+        for n in &self.nodes {
+            n.delete(id);
+        }
+        self.placements.write().remove(&id.0);
+        // S3 copies are governed by snapshot retention, not live deletes.
+    }
+}
+
+/// Per-node [`BlockStore`] handle over a [`ReplicatedStore`].
+#[derive(Clone)]
+pub struct NodeStore {
+    node: NodeId,
+    inner: Arc<ReplicatedStore>,
+}
+
+impl NodeStore {
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn cluster(&self) -> &Arc<ReplicatedStore> {
+        &self.inner
+    }
+}
+
+impl BlockStore for NodeStore {
+    fn put(&self, block: EncodedBlock) -> Result<()> {
+        self.inner.put_from(self.node, block)
+    }
+
+    fn get(&self, id: BlockId) -> Result<Arc<EncodedBlock>> {
+        self.inner.get_any(id)
+    }
+
+    fn delete(&self, id: BlockId) {
+        self.inner.delete_everywhere(id);
+    }
+
+    fn contains(&self, id: BlockId) -> bool {
+        self.inner.placements.read().contains_key(&id.0)
+    }
+
+    fn block_count(&self) -> usize {
+        self.inner.placements.read().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.local_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(payload: Vec<u8>) -> EncodedBlock {
+        EncodedBlock::new(1, payload)
+    }
+
+    fn setup(nodes: u32) -> (Arc<S3Sim>, Arc<ReplicatedStore>) {
+        let s3 = Arc::new(S3Sim::new());
+        let store = ReplicatedStore::new(nodes, 4, Arc::clone(&s3), "us-east-1", "clu-1").unwrap();
+        (s3, store)
+    }
+
+    #[test]
+    fn dual_write_and_placement() {
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(1));
+        let b = block(vec![1, 2, 3]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        let p = store.placement_of(id).unwrap();
+        assert_eq!(p.primary, NodeId(1));
+        let sec = p.secondary.unwrap();
+        assert_ne!(sec, NodeId(1));
+        // Both copies exist on-cluster.
+        assert!(store.nodes[1].contains(id));
+        assert!(store.nodes[sec.0 as usize].contains(id));
+    }
+
+    #[test]
+    fn read_falls_through_to_secondary_then_s3() {
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![9; 64]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        store.drain_backup_queue().unwrap();
+
+        store.kill_node(NodeId(0));
+        assert_eq!(store.get_any(id).unwrap().payload, vec![9; 64]);
+        let (sec_reads, _) = store.fallthrough_stats();
+        assert_eq!(sec_reads, 1);
+
+        // Kill the secondary too: S3 page fault.
+        let p = store.placement_of(id).unwrap();
+        store.kill_node(p.secondary.unwrap());
+        assert_eq!(store.get_any(id).unwrap().payload, vec![9; 64]);
+        let (_, s3_reads) = store.fallthrough_stats();
+        assert_eq!(s3_reads, 1);
+    }
+
+    #[test]
+    fn durability_window_requires_multiple_faults() {
+        // Block not yet in S3 + both replicas lost = data loss (reported
+        // as an error, never silent corruption).
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![5]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        assert_eq!(store.backup_backlog(), 1);
+        let p = store.placement_of(id).unwrap();
+        store.kill_node(NodeId(0));
+        store.kill_node(p.secondary.unwrap());
+        assert!(store.get_any(id).is_err(), "double fault inside the backup window");
+    }
+
+    #[test]
+    fn incremental_backup_skips_existing() {
+        let (s3, store) = setup(2);
+        let ns = store.node_store(NodeId(0));
+        let b1 = block(vec![1]);
+        ns.put(b1).unwrap();
+        assert_eq!(store.drain_backup_queue().unwrap(), 1);
+        let b2 = block(vec![2]);
+        ns.put(b2).unwrap();
+        assert_eq!(store.drain_backup_queue().unwrap(), 1, "only the new block uploads");
+        assert_eq!(s3.stats("us-east-1").puts, 2);
+    }
+
+    #[test]
+    fn re_replication_restores_redundancy() {
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(0));
+        let mut ids = Vec::new();
+        for i in 0..20u8 {
+            let b = block(vec![i; 32]);
+            ids.push(b.id);
+            ns.put(b).unwrap();
+        }
+        store.kill_node(NodeId(0));
+        let (blocks, bytes) = store.re_replicate(NodeId(0)).unwrap();
+        assert_eq!(blocks, 20);
+        assert!(bytes > 0);
+        // Every block now has two live replicas not involving node 0.
+        for id in ids {
+            let p = store.placement_of(id).unwrap();
+            assert_ne!(p.primary, NodeId(0));
+            assert_ne!(p.secondary, Some(NodeId(0)));
+            assert!(p.secondary.is_some());
+            assert!(store.get_any(id).is_ok());
+        }
+    }
+
+    #[test]
+    fn cohort_bounds_secondary_placement() {
+        let (_s3, store) = setup(8); // cohorts of 4: {0..3}, {4..7}
+        let ns = store.node_store(NodeId(5));
+        for i in 0..50u8 {
+            ns.put(block(vec![i])).unwrap();
+        }
+        for p in store.placements.read().values() {
+            let s = p.secondary.unwrap();
+            assert!((4..8).contains(&s.0), "secondary {s} escaped the cohort");
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_relies_on_s3() {
+        let s3 = Arc::new(S3Sim::new());
+        let store = ReplicatedStore::new(1, 2, Arc::clone(&s3), "r", "b").unwrap();
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![3]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        assert!(store.placement_of(id).unwrap().secondary.is_none());
+        store.drain_backup_queue().unwrap();
+        store.kill_node(NodeId(0));
+        assert!(store.get_any(id).is_ok(), "page-faulted from S3");
+    }
+
+    #[test]
+    fn delete_removes_all_replicas() {
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(2));
+        let b = block(vec![1]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        ns.delete(id);
+        assert!(!ns.contains(id));
+        for n in &store.nodes {
+            assert!(!n.contains(id));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A durable, multi-region object store standing in for Amazon S3.
+//!
+//! Functional semantics only — latency/throughput for the paper-scale
+//! experiments are modeled separately with `redsim-simkit`. Durability is
+//! modeled as absolute ("designed to provide 99.9999999% durability")
+//! unless a test explicitly injects object loss.
+
+use parking_lot::RwLock;
+use redsim_common::{Result, RsError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Region {
+    /// key → object bytes. BTreeMap gives ordered prefix listing.
+    objects: BTreeMap<String, Arc<Vec<u8>>>,
+    puts: u64,
+    gets: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// The simulated S3 service.
+#[derive(Default)]
+pub struct S3Sim {
+    regions: RwLock<BTreeMap<String, Region>>,
+}
+
+/// Traffic counters for one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionStats {
+    pub objects: usize,
+    pub puts: u64,
+    pub gets: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
+impl S3Sim {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store an object (overwrites).
+    pub fn put(&self, region: &str, key: &str, data: Vec<u8>) {
+        let mut regions = self.regions.write();
+        let r = regions.entry(region.to_string()).or_default();
+        r.puts += 1;
+        r.bytes_in += data.len() as u64;
+        r.objects.insert(key.to_string(), Arc::new(data));
+    }
+
+    /// Fetch an object.
+    pub fn get(&self, region: &str, key: &str) -> Result<Arc<Vec<u8>>> {
+        let mut regions = self.regions.write();
+        let r = regions
+            .get_mut(region)
+            .ok_or_else(|| RsError::NotFound(format!("s3 region {region:?}")))?;
+        let obj = r
+            .objects
+            .get(key)
+            .cloned()
+            .ok_or_else(|| RsError::NotFound(format!("s3://{region}/{key}")))?;
+        r.gets += 1;
+        r.bytes_out += obj.len() as u64;
+        Ok(obj)
+    }
+
+    pub fn exists(&self, region: &str, key: &str) -> bool {
+        self.regions
+            .read()
+            .get(region)
+            .is_some_and(|r| r.objects.contains_key(key))
+    }
+
+    /// List keys with a prefix, in lexicographic order.
+    pub fn list(&self, region: &str, prefix: &str) -> Vec<String> {
+        self.regions.read().get(region).map_or_else(Vec::new, |r| {
+            r.objects
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, _)| k.clone())
+                .collect()
+        })
+    }
+
+    pub fn delete(&self, region: &str, key: &str) {
+        if let Some(r) = self.regions.write().get_mut(region) {
+            r.objects.remove(key);
+        }
+    }
+
+    /// Copy one object across regions (disaster-recovery replication).
+    pub fn copy_object(&self, from_region: &str, to_region: &str, key: &str) -> Result<()> {
+        let data = self.get(from_region, key)?;
+        let mut regions = self.regions.write();
+        let dst = regions.entry(to_region.to_string()).or_default();
+        dst.puts += 1;
+        dst.bytes_in += data.len() as u64;
+        dst.objects.insert(key.to_string(), data);
+        Ok(())
+    }
+
+    /// Test hook: lose an object (multi-fault durability scenarios).
+    pub fn inject_object_loss(&self, region: &str, key: &str) {
+        self.delete(region, key);
+    }
+
+    pub fn stats(&self, region: &str) -> RegionStats {
+        self.regions.read().get(region).map_or_else(RegionStats::default, |r| RegionStats {
+            objects: r.objects.len(),
+            puts: r.puts,
+            gets: r.gets,
+            bytes_in: r.bytes_in,
+            bytes_out: r.bytes_out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s3 = S3Sim::new();
+        s3.put("us-east-1", "bucket/a", vec![1, 2, 3]);
+        assert_eq!(*s3.get("us-east-1", "bucket/a").unwrap(), vec![1, 2, 3]);
+        assert!(s3.get("us-east-1", "bucket/missing").is_err());
+        assert!(s3.get("eu-west-1", "bucket/a").is_err());
+    }
+
+    #[test]
+    fn list_by_prefix_sorted() {
+        let s3 = S3Sim::new();
+        s3.put("r", "snap/1/b", vec![]);
+        s3.put("r", "snap/1/a", vec![]);
+        s3.put("r", "snap/2/x", vec![]);
+        s3.put("r", "other", vec![]);
+        assert_eq!(s3.list("r", "snap/1/"), vec!["snap/1/a", "snap/1/b"]);
+        assert_eq!(s3.list("r", "snap/").len(), 3);
+    }
+
+    #[test]
+    fn cross_region_copy() {
+        let s3 = S3Sim::new();
+        s3.put("us-east-1", "k", vec![7]);
+        s3.copy_object("us-east-1", "eu-west-1", "k").unwrap();
+        assert_eq!(*s3.get("eu-west-1", "k").unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let s3 = S3Sim::new();
+        s3.put("r", "k", vec![0; 100]);
+        s3.get("r", "k").unwrap();
+        s3.get("r", "k").unwrap();
+        let st = s3.stats("r");
+        assert_eq!(st.objects, 1);
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.bytes_in, 100);
+        assert_eq!(st.bytes_out, 200);
+    }
+
+    #[test]
+    fn injected_loss_is_observable() {
+        let s3 = S3Sim::new();
+        s3.put("r", "k", vec![1]);
+        s3.inject_object_loss("r", "k");
+        assert!(s3.get("r", "k").is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Analytic FIFO server pools.
+//!
+//! Many of the models only need "k servers, FIFO queue, known service
+//! times" — disks serving block writes, NICs moving re-replication
+//! traffic, S3 frontends absorbing backup PUTs. Instead of threading those
+//! through the event queue, a [`ServerPool`] answers the question directly:
+//! *given a job arriving at time t with service time s, when does it
+//! finish?* Jobs must be offered in non-decreasing arrival order (the
+//! callers are themselves simulations moving forward in time).
+
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A pool of `k` identical FIFO servers.
+#[derive(Debug, Clone)]
+pub struct ServerPool {
+    /// Completion time of the job each busy server is working on.
+    busy_until: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    /// Total busy time accumulated, for utilization accounting.
+    busy_time: SimTime,
+    jobs: u64,
+    last_arrival: SimTime,
+}
+
+impl ServerPool {
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a pool needs at least one server");
+        ServerPool {
+            busy_until: BinaryHeap::new(),
+            servers,
+            busy_time: SimTime::ZERO,
+            jobs: 0,
+            last_arrival: SimTime::ZERO,
+        }
+    }
+
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total service time delivered (sums over servers).
+    pub fn total_busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Offer a job arriving at `arrival` needing `service` time; returns
+    /// its completion time. Panics if arrivals go backwards.
+    pub fn submit(&mut self, arrival: SimTime, service: SimTime) -> SimTime {
+        assert!(arrival >= self.last_arrival, "arrivals must be time-ordered");
+        self.last_arrival = arrival;
+        // Retire servers whose jobs completed before this arrival.
+        while let Some(&Reverse(t)) = self.busy_until.peek() {
+            if t <= arrival {
+                self.busy_until.pop();
+            } else {
+                break;
+            }
+        }
+        let start = if self.busy_until.len() < self.servers {
+            arrival
+        } else {
+            // All servers busy: wait for the earliest to free.
+            let Reverse(earliest) = self.busy_until.pop().expect("non-empty");
+            earliest.max(arrival)
+        };
+        let done = start + service;
+        self.busy_until.push(Reverse(done));
+        self.busy_time += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// When would the pool next have a free server for a job arriving at
+    /// `arrival`? (Does not reserve anything.)
+    pub fn earliest_start(&self, arrival: SimTime) -> SimTime {
+        let active: Vec<SimTime> = self
+            .busy_until
+            .iter()
+            .map(|Reverse(t)| *t)
+            .filter(|&t| t > arrival)
+            .collect();
+        if active.len() < self.servers {
+            arrival
+        } else {
+            active.iter().copied().min().unwrap_or(arrival).max(arrival)
+        }
+    }
+}
+
+/// Convert a byte count and a bandwidth (bytes/sec) to a service time.
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> SimTime {
+    assert!(bytes_per_sec > 0.0);
+    SimTime::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_queues_fifo() {
+        let mut pool = ServerPool::new(1);
+        let s = SimTime::from_secs;
+        assert_eq!(pool.submit(s(0), s(10)), s(10));
+        assert_eq!(pool.submit(s(1), s(10)), s(20)); // waits behind job 1
+        assert_eq!(pool.submit(s(25), s(5)), s(30)); // idle gap honored
+        assert_eq!(pool.jobs_served(), 3);
+        assert_eq!(pool.total_busy_time(), s(25));
+    }
+
+    #[test]
+    fn parallel_servers_run_concurrently() {
+        let mut pool = ServerPool::new(4);
+        let s = SimTime::from_secs;
+        // Four jobs at t=0 all finish at t=10; the fifth waits.
+        for _ in 0..4 {
+            assert_eq!(pool.submit(s(0), s(10)), s(10));
+        }
+        assert_eq!(pool.submit(s(0), s(10)), s(20));
+    }
+
+    #[test]
+    fn earliest_start_reflects_load() {
+        let mut pool = ServerPool::new(2);
+        let s = SimTime::from_secs;
+        pool.submit(s(0), s(10));
+        assert_eq!(pool.earliest_start(s(1)), s(1)); // one server still free
+        pool.submit(s(1), s(10));
+        assert_eq!(pool.earliest_start(s(2)), s(10)); // both busy until 10/11
+    }
+
+    #[test]
+    fn scaling_servers_scales_makespan() {
+        // 128 unit jobs on 2 vs 16 vs 128 servers — the Figure 2 property
+        // that admin operations parallelize across the cluster.
+        let makespan = |servers: usize| {
+            let mut pool = ServerPool::new(servers);
+            let mut last = SimTime::ZERO;
+            for _ in 0..128 {
+                last = last.max(pool.submit(SimTime::ZERO, SimTime::from_secs(1)));
+            }
+            last
+        };
+        assert_eq!(makespan(2), SimTime::from_secs(64));
+        assert_eq!(makespan(16), SimTime::from_secs(8));
+        assert_eq!(makespan(128), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        assert_eq!(transfer_time(1_000_000, 1e6), SimTime::from_secs(1));
+        assert_eq!(transfer_time(0, 1e6), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn backwards_arrivals_panic() {
+        let mut pool = ServerPool::new(1);
+        pool.submit(SimTime::from_secs(5), SimTime::from_secs(1));
+        pool.submit(SimTime::from_secs(4), SimTime::from_secs(1));
+    }
+}

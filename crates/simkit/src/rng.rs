@@ -1,0 +1,290 @@
+//! Seeded randomness for simulations.
+//!
+//! PCG32 (O'Neill) — small, fast, and statistically solid for modeling
+//! purposes. Implemented locally so simulation results are reproducible
+//! byte-for-byte regardless of external crate versions. (The `rand` crate
+//! is still used elsewhere for *workload* generation, where exact stream
+//! stability across versions matters less.)
+
+/// A seeded PCG32 generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+impl SimRng {
+    /// Create from a seed and stream id. Equal seeds ⇒ equal streams.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = SimRng { state: 0, inc: (stream << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Convenience: stream 0.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0)
+    }
+
+    /// Derive an independent child stream (per-cluster, per-node RNGs).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        SimRng::new(self.next_u64(), stream)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [0, bound). Unbiased via rejection.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform f64 in [lo, hi).
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Exponential with the given mean (= 1/rate).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal(mu, sigma).
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.std_normal()
+    }
+
+    /// Log-normal with the given *underlying* mu/sigma.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto with scale `xm` and shape `alpha` (heavy-tailed error-cause
+    /// frequencies for the Figure 5 model).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Sample an index from unnormalized weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive sum");
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// A named distribution over non-negative durations/sizes, used in model
+/// configs so calibration constants stay declarative.
+#[derive(Debug, Clone)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform in [lo, hi).
+    Uniform(f64, f64),
+    /// Exponential with mean.
+    Exponential(f64),
+    /// Normal(mu, sigma), truncated at 0.
+    Normal(f64, f64),
+    /// LogNormal with underlying (mu, sigma).
+    LogNormal(f64, f64),
+    /// Pareto(xm, alpha).
+    Pareto(f64, f64),
+    /// Empirical: sample uniformly from the given observations.
+    Empirical(Vec<f64>),
+}
+
+impl Dist {
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform(lo, hi) => rng.uniform(*lo, *hi),
+            Dist::Exponential(mean) => rng.exponential(*mean),
+            Dist::Normal(mu, sigma) => rng.normal(*mu, *sigma).max(0.0),
+            Dist::LogNormal(mu, sigma) => rng.log_normal(*mu, *sigma),
+            Dist::Pareto(xm, alpha) => rng.pareto(*xm, *alpha),
+            Dist::Empirical(obs) => {
+                assert!(!obs.is_empty());
+                obs[rng.gen_range(obs.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Analytic mean where defined (Empirical uses the sample mean).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform(lo, hi) => (lo + hi) / 2.0,
+            Dist::Exponential(mean) => *mean,
+            Dist::Normal(mu, _) => *mu,
+            Dist::LogNormal(mu, sigma) => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Pareto(xm, alpha) => {
+                if *alpha > 1.0 {
+                    alpha * xm / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Dist::Empirical(obs) => obs.iter().sum::<f64>() / obs.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seeded(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SimRng::seeded(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.uniform(2.0, 4.0);
+            assert!((2.0..4.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / n as f64 - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::seeded(2);
+        let n = 50_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        assert!((sum / n as f64 - mean).abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seeded(3);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gen_range_unbiased_small_bound() {
+        let mut rng = SimRng::seeded(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 400.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = SimRng::seeded(5);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.pareto(1.0, 1.2)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50.0, "expected a heavy tail, max={max}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seeded(6);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&[9.0, 1.0])] += 1;
+        }
+        assert!(counts[0] > 8_500 && counts[1] > 500, "{counts:?}");
+    }
+
+    #[test]
+    fn dist_sampling_and_means() {
+        let mut rng = SimRng::seeded(7);
+        assert_eq!(Dist::Constant(3.0).sample(&mut rng), 3.0);
+        assert_eq!(Dist::Empirical(vec![2.0, 4.0]).mean(), 3.0);
+        assert!((Dist::Uniform(0.0, 2.0).mean() - 1.0).abs() < 1e-12);
+        let v = Dist::Normal(5.0, 1.0).sample(&mut rng);
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::seeded(8);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let av: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+}

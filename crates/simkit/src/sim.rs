@@ -1,0 +1,179 @@
+//! Event-queue simulation driver.
+//!
+//! A [`Simulation<S>`] owns user state `S` and a time-ordered queue of
+//! closure events. Events may schedule further events; ties break by
+//! insertion order so runs are fully deterministic.
+
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Boxed event callback.
+type EventFn<S> = Box<dyn FnOnce(&mut Simulation<S>)>;
+
+struct Event<S> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+// BinaryHeap is a max-heap; invert ordering for earliest-first, with seq as
+// the deterministic tiebreaker.
+impl<S> PartialEq for Event<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Event<S> {}
+impl<S> PartialOrd for Event<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Event<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulation over user state `S`.
+pub struct Simulation<S> {
+    /// The model's mutable state, freely accessible from event closures.
+    pub state: S,
+    now: SimTime,
+    queue: BinaryHeap<Event<S>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<S> Simulation<S> {
+    pub fn new(state: S) -> Self {
+        Simulation { state, now: SimTime::ZERO, queue: BinaryHeap::new(), next_seq: 0, executed: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, f: impl FnOnce(&mut Simulation<S>) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at an absolute time (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulation<S>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Event { at, seq, f: Box::new(f) });
+    }
+
+    /// Run until the queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run events up to and including `until`; later events stay queued and
+    /// the clock advances exactly to `until`.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+        self.now
+    }
+
+    /// Execute the next event, if any. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule(SimTime::from_secs(3), |s| s.state.push(3));
+        sim.schedule(SimTime::from_secs(1), |s| s.state.push(1));
+        sim.schedule(SimTime::from_secs(2), |s| s.state.push(2));
+        let end = sim.run();
+        assert_eq!(sim.state, vec![1, 2, 3]);
+        assert_eq!(end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        for i in 0..10 {
+            sim.schedule(SimTime::from_secs(5), move |s| s.state.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.state, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_chain() {
+        // A "process": each event schedules its successor.
+        fn tick(sim: &mut Simulation<u32>) {
+            if sim.state < 5 {
+                sim.state += 1;
+                sim.schedule(SimTime::from_secs(1), tick);
+            }
+        }
+        let mut sim = Simulation::new(0u32);
+        sim.schedule(SimTime::ZERO, tick);
+        let end = sim.run();
+        assert_eq!(sim.state, 5);
+        assert_eq!(end, SimTime::from_secs(5));
+        assert_eq!(sim.events_executed(), 6);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule(SimTime::from_secs(1), |s| s.state += 1);
+        sim.schedule(SimTime::from_secs(10), |s| s.state += 100);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.state, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(sim.state, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule(SimTime::from_secs(1), |s| {
+            s.schedule_at(SimTime::ZERO, |_| {});
+        });
+        sim.run();
+    }
+}

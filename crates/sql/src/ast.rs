@@ -1,0 +1,212 @@
+//! Abstract syntax tree (pre-binding: names are strings).
+
+use redsim_common::DataType;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    DropTable { name: String, if_exists: bool },
+    Insert(Insert),
+    Select(Select),
+    Copy(Copy),
+    Vacuum { table: Option<String> },
+    Analyze { table: Option<String> },
+    Explain(Box<Statement>),
+}
+
+/// `CREATE TABLE` with Redshift's distribution/sort clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnSpec>,
+    pub dist_style: DistStyleSpec,
+    pub sort_key: SortKeyAst,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistStyleSpec {
+    /// Unspecified: the engine picks (EVEN for now — "dusty knob").
+    Auto,
+    Even,
+    Key(String),
+    All,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortKeyAst {
+    None,
+    Compound(Vec<String>),
+    Interleaved(Vec<String>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Option<Vec<String>>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `COPY table FROM 'uri' [FORMAT CSV|JSON] [COMPUPDATE ON|OFF] …`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Copy {
+    pub table: String,
+    pub source: String,
+    pub format: CopyFormat,
+    pub comp_update: bool,
+    pub stat_update: bool,
+    pub delimiter: char,
+    /// Source objects are LZSS-compressed (this repo's stand-in for the
+    /// real COPY's gzip/lzop support).
+    pub compressed: bool,
+    /// Source objects are client-side encrypted; hex-encoded 128-bit key.
+    pub decrypt_key: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFormat {
+    Csv,
+    Json,
+}
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// expression with optional alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub join_type: JoinType,
+    pub table: TableRef,
+    pub on: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Unresolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `col` or `alias.col`
+    Column { table: Option<String>, name: String },
+    /// Integer/float/string/bool/NULL literal.
+    Literal(Literal),
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// `expr IS NULL` / `IS NOT NULL`
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr BETWEEN low AND high`
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// `expr IN (a, b, c)`
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// `expr LIKE 'pat%'`
+    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    /// `CAST(expr AS type)`
+    Cast { expr: Box<Expr>, to: DataType },
+    /// `CASE WHEN c THEN v [WHEN ...] [ELSE e] END`
+    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
+    /// Aggregate call.
+    Agg { func: AggName, arg: Option<Box<Expr>>, distinct: bool },
+    /// Scalar function call.
+    Func { name: String, args: Vec<Expr> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    /// Numbers with a decimal point that should stay exact.
+    Decimal(String),
+    String(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    Count,
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// `APPROX COUNT(DISTINCT x)` — the paper's "approximate functions"
+    /// direction (§4, Data Transformation).
+    ApproxCountDistinct,
+}

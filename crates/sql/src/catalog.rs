@@ -1,0 +1,41 @@
+//! Catalog abstraction the planner consults.
+
+use redsim_common::Schema;
+use redsim_distribution::DistStyle;
+use redsim_storage::table::SortKeySpec;
+
+/// Everything the planner needs to know about a table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub name: String,
+    pub schema: Schema,
+    pub dist_style: DistStyle,
+    pub sort_key: SortKeySpec,
+    /// Estimated row count from ANALYZE (0 when never analyzed).
+    pub rows: u64,
+}
+
+/// Read-only catalog view. Implemented by the leader node's catalog.
+pub trait CatalogView {
+    fn table(&self, name: &str) -> Option<TableMeta>;
+
+    /// Total slices in the cluster (join-strategy costing).
+    fn total_slices(&self) -> u32;
+}
+
+/// A fixed in-memory catalog for tests and tools.
+#[derive(Debug, Default)]
+pub struct StaticCatalog {
+    pub tables: Vec<TableMeta>,
+    pub slices: u32,
+}
+
+impl CatalogView for StaticCatalog {
+    fn table(&self, name: &str) -> Option<TableMeta> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name)).cloned()
+    }
+
+    fn total_slices(&self) -> u32 {
+        self.slices.max(1)
+    }
+}

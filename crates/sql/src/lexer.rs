@@ -1,0 +1,281 @@
+//! SQL tokenizer.
+
+use redsim_common::{Result, RsError};
+
+/// A lexical token. Keywords are recognized case-insensitively and carried
+/// uppercased in `Keyword`; identifiers are lowercased (PostgreSQL folding).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    /// Integer literal (may exceed i64 in text; parsed at use site).
+    Number(String),
+    /// Single-quoted string literal, quotes removed, '' unescaped.
+    String(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Dot,
+    Semicolon,
+    /// `||` string concatenation.
+    Concat,
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "ASC", "DESC",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON", "AS", "AND", "OR", "NOT", "IN",
+    "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "COPY", "VACUUM", "ANALYZE",
+    "EXPLAIN", "DISTSTYLE", "DISTKEY", "SORTKEY", "COMPOUND", "INTERLEAVED", "EVEN", "ALL",
+    "KEY", "COUNT", "SUM", "AVG", "MIN", "MAX", "APPROX", "DISTINCT", "CAST", "SMALLINT",
+    "INT2", "INTEGER", "INT", "INT4", "BIGINT", "INT8", "DOUBLE", "PRECISION", "FLOAT",
+    "FLOAT8", "REAL", "BOOLEAN", "BOOL", "VARCHAR", "TEXT", "CHAR", "DATE", "TIMESTAMP",
+    "DECIMAL", "NUMERIC", "PRIMARY", "FOREIGN", "REFERENCES", "UNIQUE", "DEFAULT",
+    "FORMAT", "CSV", "JSON", "COMPUPDATE", "STATUPDATE", "OFF", "DELIMITER", "LZSS", "ENCRYPTED",
+];
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Decode the full character: identifiers may be non-ASCII, and
+        // classification on a lead byte alone would slice mid-codepoint.
+        let c = sql[i..].chars().next().expect("i is on a char boundary");
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                let end = sql[i + 2..]
+                    .find("*/")
+                    .ok_or_else(|| RsError::Parse("unterminated block comment".into()))?;
+                i += end + 4;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Concat);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(RsError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte chars: copy raw bytes until next quote.
+                        let start = i;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        s.push_str(&sql[start..i]);
+                    }
+                }
+                out.push(Token::String(s));
+            }
+            '"' => {
+                // Quoted identifier.
+                let start = i + 1;
+                let end = sql[start..]
+                    .find('"')
+                    .ok_or_else(|| RsError::Parse("unterminated quoted identifier".into()))?;
+                out.push(Token::Ident(sql[start..start + end].to_string()));
+                i = start + end + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                out.push(Token::Number(sql[start..i].to_string()));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                for ch in sql[i..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => {
+                return Err(RsError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let t = tokenize("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("a".into()));
+        assert!(t.contains(&Token::GtEq));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let t = tokenize("'it''s' 'héllo'").unwrap();
+        assert_eq!(t[0], Token::String("it's".into()));
+        assert_eq!(t[1], Token::String("héllo".into()));
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 1e6 3.14e-2").unwrap();
+        assert_eq!(t[0], Token::Number("1".into()));
+        assert_eq!(t[1], Token::Number("2.5".into()));
+        assert_eq!(t[2], Token::Number("1e6".into()));
+        assert_eq!(t[3], Token::Number("3.14e-2".into()));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let t = tokenize("SELECT -- hi\n 1 /* block */ + 2").unwrap();
+        assert_eq!(t.len(), 5); // SELECT 1 + 2 EOF
+    }
+
+    #[test]
+    fn identifiers_fold_to_lowercase_keywords_to_upper() {
+        let t = tokenize("Select MyCol from T").unwrap();
+        assert_eq!(t[0], Token::Keyword("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("mycol".into()));
+        assert_eq!(t[3], Token::Ident("t".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers_keep_case() {
+        let t = tokenize("\"MyTable\"").unwrap();
+        assert_eq!(t[0], Token::Ident("MyTable".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a <> b != c <= d || e").unwrap();
+        assert_eq!(t.iter().filter(|x| **x == Token::NotEq).count(), 2);
+        assert!(t.contains(&Token::LtEq));
+        assert!(t.contains(&Token::Concat));
+    }
+}

@@ -1,0 +1,957 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use redsim_common::{DataType, Result, RsError};
+
+/// A parser over a token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(sql: &str) -> Result<Self> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T> {
+        Err(RsError::Parse(format!("{what}, found {:?}", self.peek())))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {kw}"))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {t:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            // Non-reserved keywords usable as identifiers in practice.
+            Token::Keyword(k)
+                if matches!(k.as_str(), "KEY" | "ALL" | "DATE" | "FORMAT") =>
+            {
+                Ok(k.to_ascii_lowercase())
+            }
+            other => Err(RsError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parse one complete statement (optional trailing semicolon).
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        let stmt = self.statement_inner()?;
+        self.eat(&Token::Semicolon);
+        if *self.peek() != Token::Eof {
+            return self.err("trailing input after statement");
+        }
+        Ok(stmt)
+    }
+
+    fn statement_inner(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(Box::new(self.statement_inner()?)));
+        }
+        if self.eat_kw("SELECT") {
+            return Ok(Statement::Select(self.select_body()?));
+        }
+        if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            return self.create_table();
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            // IF EXISTS is not in the keyword list; accept via idents.
+            let mut if_exists = false;
+            if matches!(self.peek(), Token::Ident(s) if s == "if") {
+                self.next();
+                match self.next() {
+                    Token::Ident(s) if s == "exists" => if_exists = true,
+                    _ => return self.err("expected EXISTS after IF"),
+                }
+            }
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            return self.insert();
+        }
+        if self.eat_kw("COPY") {
+            return self.copy();
+        }
+        if self.eat_kw("VACUUM") {
+            let table = if matches!(self.peek(), Token::Ident(_)) { Some(self.ident()?) } else { None };
+            return Ok(Statement::Vacuum { table });
+        }
+        if self.eat_kw("ANALYZE") {
+            let table = if matches!(self.peek(), Token::Ident(_)) { Some(self.ident()?) } else { None };
+            return Ok(Statement::Analyze { table });
+        }
+        self.err("expected a statement")
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let tok = self.next();
+        let kw = match tok {
+            Token::Keyword(k) => k,
+            other => return Err(RsError::Parse(format!("expected a type, found {other:?}"))),
+        };
+        Ok(match kw.as_str() {
+            "SMALLINT" | "INT2" => DataType::Int2,
+            "INTEGER" | "INT" | "INT4" => DataType::Int4,
+            "BIGINT" | "INT8" => DataType::Int8,
+            "FLOAT" | "FLOAT8" | "REAL" => DataType::Float8,
+            "DOUBLE" => {
+                self.eat_kw("PRECISION");
+                DataType::Float8
+            }
+            "BOOLEAN" | "BOOL" => DataType::Bool,
+            "TEXT" => DataType::Varchar,
+            "VARCHAR" | "CHAR" => {
+                // Optional (n) — size is advisory in this engine.
+                if self.eat(&Token::LParen) {
+                    match self.next() {
+                        Token::Number(_) => {}
+                        other => {
+                            return Err(RsError::Parse(format!("expected length, found {other:?}")))
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                DataType::Varchar
+            }
+            "DATE" => DataType::Date,
+            "TIMESTAMP" => DataType::Timestamp,
+            "DECIMAL" | "NUMERIC" => {
+                let (mut p, mut s) = (18u8, 0u8);
+                if self.eat(&Token::LParen) {
+                    p = self.number_u64()? as u8;
+                    if self.eat(&Token::Comma) {
+                        s = self.number_u64()? as u8;
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                if s > p || p > 38 {
+                    return Err(RsError::Parse(format!("invalid DECIMAL({p},{s})")));
+                }
+                DataType::Decimal(p, s)
+            }
+            other => return Err(RsError::Parse(format!("unknown type {other}"))),
+        })
+    }
+
+    fn number_u64(&mut self) -> Result<u64> {
+        match self.next() {
+            Token::Number(n) => n
+                .parse()
+                .map_err(|_| RsError::Parse(format!("invalid integer {n}"))),
+            other => Err(RsError::Parse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let data_type = self.data_type()?;
+            let mut not_null = false;
+            loop {
+                if self.eat_kw("NOT") {
+                    self.expect_kw("NULL")?;
+                    not_null = true;
+                } else if self.eat_kw("NULL") {
+                    // explicit nullable
+                } else if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?; // informational, like Redshift
+                } else if self.eat_kw("UNIQUE") {
+                    // informational
+                } else {
+                    break;
+                }
+            }
+            columns.push(ColumnSpec { name: col_name, data_type, not_null });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let mut dist_style = DistStyleSpec::Auto;
+        let mut sort_key = SortKeyAst::None;
+        loop {
+            if self.eat_kw("DISTSTYLE") {
+                dist_style = if self.eat_kw("EVEN") {
+                    DistStyleSpec::Even
+                } else if self.eat_kw("ALL") {
+                    DistStyleSpec::All
+                } else if self.eat_kw("KEY") {
+                    // DISTSTYLE KEY must pair with DISTKEY(col).
+                    DistStyleSpec::Auto
+                } else {
+                    return self.err("expected EVEN, KEY or ALL");
+                };
+            } else if self.eat_kw("DISTKEY") {
+                self.expect(&Token::LParen)?;
+                let col = self.ident()?;
+                self.expect(&Token::RParen)?;
+                dist_style = DistStyleSpec::Key(col);
+            } else if self.eat_kw("COMPOUND") {
+                self.expect_kw("SORTKEY")?;
+                sort_key = SortKeyAst::Compound(self.paren_ident_list()?);
+            } else if self.eat_kw("INTERLEAVED") {
+                self.expect_kw("SORTKEY")?;
+                sort_key = SortKeyAst::Interleaved(self.paren_ident_list()?);
+            } else if self.eat_kw("SORTKEY") {
+                sort_key = SortKeyAst::Compound(self.paren_ident_list()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::CreateTable(CreateTable { name, columns, dist_style, sort_key }))
+    }
+
+    fn paren_ident_list(&mut self) -> Result<Vec<String>> {
+        self.expect(&Token::LParen)?;
+        let mut out = vec![self.ident()?];
+        while self.eat(&Token::Comma) {
+            out.push(self.ident()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        let columns = if self.eat(&Token::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert { table, columns, rows }))
+    }
+
+    fn copy(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("FROM")?;
+        let source = match self.next() {
+            Token::String(s) => s,
+            other => return Err(RsError::Parse(format!("expected source URI, found {other:?}"))),
+        };
+        let mut format = CopyFormat::Csv;
+        let mut comp_update = true;
+        let mut stat_update = true;
+        let mut delimiter = ',';
+        let mut compressed = false;
+        let mut decrypt_key = None;
+        loop {
+            if self.eat_kw("FORMAT") {
+                if self.eat_kw("CSV") {
+                    format = CopyFormat::Csv;
+                } else if self.eat_kw("JSON") {
+                    format = CopyFormat::Json;
+                } else {
+                    return self.err("expected CSV or JSON");
+                }
+            } else if self.eat_kw("JSON") {
+                format = CopyFormat::Json;
+            } else if self.eat_kw("CSV") {
+                format = CopyFormat::Csv;
+            } else if self.eat_kw("COMPUPDATE") {
+                if self.eat_kw("OFF") {
+                    comp_update = false;
+                } else {
+                    self.eat_kw("ON");
+                    comp_update = true;
+                }
+            } else if self.eat_kw("STATUPDATE") {
+                if self.eat_kw("OFF") {
+                    stat_update = false;
+                } else {
+                    self.eat_kw("ON");
+                    stat_update = true;
+                }
+            } else if self.eat_kw("LZSS") {
+                compressed = true;
+            } else if self.eat_kw("ENCRYPTED") {
+                match self.next() {
+                    Token::String(k) => decrypt_key = Some(k),
+                    other => {
+                        return Err(RsError::Parse(format!(
+                            "expected hex key after ENCRYPTED, found {other:?}"
+                        )))
+                    }
+                }
+            } else if self.eat_kw("DELIMITER") {
+                match self.next() {
+                    Token::String(s) if s.chars().count() == 1 => {
+                        delimiter = s.chars().next().unwrap();
+                    }
+                    other => {
+                        return Err(RsError::Parse(format!(
+                            "expected single-char delimiter, found {other:?}"
+                        )))
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Copy(Copy {
+            table,
+            source,
+            format,
+            comp_update,
+            stat_update,
+            delimiter,
+            compressed,
+            decrypt_key,
+        }))
+    }
+
+    fn select_body(&mut self) -> Result<Select> {
+        let distinct = self.eat_kw("DISTINCT");
+        // Projection.
+        let mut projection = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                projection.push(SelectItem::Wildcard);
+            } else if matches!(self.peek(), Token::Ident(_))
+                && self.tokens.get(self.pos + 1) == Some(&Token::Dot)
+                && self.tokens.get(self.pos + 2) == Some(&Token::Star)
+            {
+                let t = self.ident()?;
+                self.next(); // dot
+                self.next(); // star
+                projection.push(SelectItem::QualifiedWildcard(t));
+            } else {
+                let expr = self.expr()?;
+                // `AS alias` or a bare trailing identifier.
+                let alias = if self.eat_kw("AS") || matches!(self.peek(), Token::Ident(_)) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        let mut joins = Vec::new();
+        loop {
+            if self.eat(&Token::Comma) {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("JOIN") {
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(Join { join_type: JoinType::Inner, table, on });
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(Join { join_type: JoinType::Inner, table, on });
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(Join { join_type: JoinType::Left, table, on });
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") { Some(self.number_u64()?) } else { None };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        // `AS alias` or a bare trailing identifier.
+        let alias = if self.eat_kw("AS") || matches!(self.peek(), Token::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- expression parsing (precedence climbing) ----
+
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let e = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = if matches!(self.peek(), Token::Keyword(k) if k == "NOT")
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Keyword(k2)) if k2 == "BETWEEN" || k2 == "IN" || k2 == "LIKE"
+            ) {
+            self.next();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Token::String(s) => s,
+                other => {
+                    return Err(RsError::Parse(format!("expected pattern, found {other:?}")))
+                }
+            };
+            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+        }
+        let op = match self.peek() {
+            Token::Eq => BinaryOp::Eq,
+            Token::NotEq => BinaryOp::NotEq,
+            Token::Lt => BinaryOp::Lt,
+            Token::LtEq => BinaryOp::LtEq,
+            Token::Gt => BinaryOp::Gt,
+            Token::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.next();
+        let right = self.additive()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                Token::Concat => BinaryOp::Concat,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                Token::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        // Aggregates.
+        for (kw, func) in [
+            ("SUM", AggName::Sum),
+            ("AVG", AggName::Avg),
+            ("MIN", AggName::Min),
+            ("MAX", AggName::Max),
+        ] {
+            if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+                self.next();
+                self.expect(&Token::LParen)?;
+                let distinct = self.eat_kw("DISTINCT");
+                let arg = self.expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct });
+            }
+        }
+        if self.eat_kw("COUNT") {
+            self.expect(&Token::LParen)?;
+            if self.eat(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Agg { func: AggName::CountStar, arg: None, distinct: false });
+            }
+            let distinct = self.eat_kw("DISTINCT");
+            let arg = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Agg { func: AggName::Count, arg: Some(Box::new(arg)), distinct });
+        }
+        if self.eat_kw("APPROX") {
+            self.expect_kw("COUNT")?;
+            self.expect(&Token::LParen)?;
+            self.expect_kw("DISTINCT")?;
+            let arg = self.expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Agg {
+                func: AggName::ApproxCountDistinct,
+                arg: Some(Box::new(arg)),
+                distinct: true,
+            });
+        }
+        if self.eat_kw("CAST") {
+            self.expect(&Token::LParen)?;
+            let e = self.expr()?;
+            self.expect_kw("AS")?;
+            let to = self.data_type()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Cast { expr: Box::new(e), to });
+        }
+        if self.eat_kw("CASE") {
+            let mut branches = Vec::new();
+            while self.eat_kw("WHEN") {
+                let cond = self.expr()?;
+                self.expect_kw("THEN")?;
+                let val = self.expr()?;
+                branches.push((cond, val));
+            }
+            let else_expr =
+                if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+            self.expect_kw("END")?;
+            if branches.is_empty() {
+                return self.err("CASE needs at least one WHEN");
+            }
+            return Ok(Expr::Case { branches, else_expr });
+        }
+        if self.eat_kw("NULL") {
+            return Ok(Expr::Literal(Literal::Null));
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(Expr::Literal(Literal::Bool(true)));
+        }
+        if self.eat_kw("FALSE") {
+            return Ok(Expr::Literal(Literal::Bool(false)));
+        }
+        // DATE 'yyyy-mm-dd' / TIMESTAMP '...' literals.
+        if matches!(self.peek(), Token::Keyword(k) if k == "DATE")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::String(_)))
+        {
+            self.next();
+            if let Token::String(s) = self.next() {
+                let days = redsim_common::types::parse_date(&s)?;
+                return Ok(Expr::Cast {
+                    expr: Box::new(Expr::Literal(Literal::Int(days as i64))),
+                    to: DataType::Date,
+                });
+            }
+            unreachable!()
+        }
+        if matches!(self.peek(), Token::Keyword(k) if k == "TIMESTAMP")
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::String(_)))
+        {
+            self.next();
+            if let Token::String(s) = self.next() {
+                let us = redsim_common::types::parse_timestamp(&s)?;
+                return Ok(Expr::Cast {
+                    expr: Box::new(Expr::Literal(Literal::Int(us))),
+                    to: DataType::Timestamp,
+                });
+            }
+            unreachable!()
+        }
+        match self.next() {
+            Token::Number(n) => {
+                if n.contains(['e', 'E']) {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| RsError::Parse(format!("invalid number {n}")))?;
+                    Ok(Expr::Literal(Literal::Float(v)))
+                } else if n.contains('.') {
+                    Ok(Expr::Literal(Literal::Decimal(n)))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| RsError::Parse(format!("integer literal {n} too large")))?;
+                    Ok(Expr::Literal(Literal::Int(v)))
+                }
+            }
+            Token::String(s) => Ok(Expr::Literal(Literal::String(s))),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                // Function call?
+                if *self.peek() == Token::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    if *self.peek() != Token::RParen {
+                        args.push(self.expr()?);
+                        while self.eat(&Token::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Func { name, args });
+                }
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(RsError::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(sql: &str) -> Statement {
+        Parser::new(sql).unwrap().parse_statement().unwrap()
+    }
+
+    #[test]
+    fn create_table_full() {
+        let s = parse(
+            "CREATE TABLE clicks (
+                user_id BIGINT NOT NULL,
+                url VARCHAR(512),
+                ts TIMESTAMP,
+                price DECIMAL(12,2)
+            ) DISTKEY(user_id) COMPOUND SORTKEY(ts, user_id)",
+        );
+        match s {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, "clicks");
+                assert_eq!(ct.columns.len(), 4);
+                assert!(ct.columns[0].not_null);
+                assert_eq!(ct.columns[3].data_type, DataType::Decimal(12, 2));
+                assert_eq!(ct.dist_style, DistStyleSpec::Key("user_id".into()));
+                assert_eq!(
+                    ct.sort_key,
+                    SortKeyAst::Compound(vec!["ts".into(), "user_id".into()])
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_interleaved_and_all() {
+        let s = parse("CREATE TABLE d (a INT, b INT) DISTSTYLE ALL INTERLEAVED SORTKEY(a, b)");
+        match s {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.dist_style, DistStyleSpec::All);
+                assert_eq!(ct.sort_key, SortKeyAst::Interleaved(vec!["a".into(), "b".into()]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let s = parse(
+            "SELECT c.region, COUNT(*) AS n, SUM(o.total)
+             FROM orders o JOIN customers c ON o.cust_id = c.id
+             WHERE o.ts BETWEEN 1 AND 100 AND c.region IN ('us', 'eu')
+             GROUP BY c.region HAVING COUNT(*) > 5
+             ORDER BY n DESC LIMIT 10",
+        );
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection.len(), 3);
+                assert_eq!(sel.joins.len(), 1);
+                assert!(sel.where_clause.is_some());
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+                assert!(sel.order_by[0].desc);
+                assert_eq!(sel.limit, Some(10));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        match s {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.columns.as_ref().unwrap().len(), 2);
+                assert_eq!(ins.rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_statement() {
+        let s = parse("COPY clicks FROM 's3://bucket/prefix/' FORMAT CSV COMPUPDATE OFF DELIMITER '|'");
+        match s {
+            Statement::Copy(c) => {
+                assert_eq!(c.table, "clicks");
+                assert_eq!(c.source, "s3://bucket/prefix/");
+                assert_eq!(c.format, CopyFormat::Csv);
+                assert!(!c.comp_update);
+                assert_eq!(c.delimiter, '|');
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_compressed_and_encrypted_options() {
+        let s = parse("COPY t FROM 's3://x/' LZSS ENCRYPTED '00112233445566778899aabbccddeeff' FORMAT JSON");
+        match s {
+            Statement::Copy(c) => {
+                assert!(c.compressed);
+                assert_eq!(c.decrypt_key.as_deref(), Some("00112233445566778899aabbccddeeff"));
+                assert_eq!(c.format, CopyFormat::Json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Parser::new("COPY t FROM 's3://x/' ENCRYPTED")
+            .unwrap()
+            .parse_statement()
+            .is_err());
+    }
+
+    #[test]
+    fn select_distinct_parses() {
+        let s = parse("SELECT DISTINCT a, b FROM t");
+        match s {
+            Statement::Select(sel) => assert!(sel.distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse("SELECT 1 + 2 * 3 FROM t");
+        if let Statement::Select(sel) = s {
+            if let SelectItem::Expr { expr, .. } = &sel.projection[0] {
+                // Must parse as 1 + (2*3).
+                match expr {
+                    Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                        assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_count_distinct() {
+        let s = parse("SELECT APPROX COUNT(DISTINCT user_id) FROM clicks");
+        if let Statement::Select(sel) = s {
+            assert!(matches!(
+                sel.projection[0],
+                SelectItem::Expr {
+                    expr: Expr::Agg { func: AggName::ApproxCountDistinct, .. },
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn explain_vacuum_analyze_drop() {
+        assert!(matches!(parse("EXPLAIN SELECT a FROM t"), Statement::Explain(_)));
+        assert!(matches!(parse("VACUUM"), Statement::Vacuum { table: None }));
+        assert!(matches!(parse("ANALYZE t"), Statement::Analyze { table: Some(_) }));
+        assert!(matches!(
+            parse("DROP TABLE if exists t"),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn date_literals() {
+        let s = parse("SELECT * FROM t WHERE d >= DATE '2015-05-31'");
+        assert!(matches!(s, Statement::Select(_)));
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = parse("SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t");
+        assert!(matches!(s, Statement::Select(_)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Parser::new("SELECT FROM").unwrap().parse_statement().is_err());
+        assert!(Parser::new("CREATE TABLE t").unwrap().parse_statement().is_err());
+        assert!(Parser::new("SELECT 1 FROM t GARBAGE trailing")
+            .unwrap()
+            .parse_statement()
+            .is_err());
+    }
+
+    #[test]
+    fn not_variants() {
+        let s = parse("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2 AND c NOT LIKE 'x%' AND d IS NOT NULL");
+        if let Statement::Select(sel) = s {
+            assert!(sel.where_clause.is_some());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # redsim-zorder
+//!
+//! Multidimensional z-curve (Morton order) indexing.
+//!
+//! Section 3.3 of the paper: Redshift "avoid\[s\] the use of indexing or
+//! projections, instead favoring multi-dimensional z-curves", citing
+//! Orenstein & Merrett. Interleaved sort keys lay table rows out along a
+//! space-filling curve so that zone maps prune blocks for predicates on
+//! *any* subset of the key columns — unlike compound keys, which only help
+//! on a prefix — and so that a suboptimal key choice "degrades gracefully".
+//!
+//! This crate provides the pure math:
+//!
+//! * [`ZSpace`] — an n-dimensional Morton code space (up to 8 dims packed
+//!   into a `u128`).
+//! * [`ZSpace::encode`]/[`ZSpace::decode`] — bit interleaving.
+//! * [`ZSpace::next_in_rect`] — the BIGMIN operation (Tropf–Herzog):
+//!   smallest z-code ≥ a given code that falls inside a query rectangle.
+//!   This is what makes z-interval block pruning sound *and* tight.
+//! * [`ZSpace::interval_intersects_rect`] — block-pruning predicate used
+//!   by the storage layer's zone maps on interleaved-sorted tables.
+//! * [`ZSpace::decompose_rect`] — split a rectangle into disjoint z-code
+//!   intervals (bounded count), for range-scan planning.
+//! * [`normalize_i64`]/[`normalize_f64`] — map column values onto the
+//!   `[0, 2^bits)` grid.
+
+mod space;
+
+pub use space::{normalize_f64, normalize_i64, ZSpace};

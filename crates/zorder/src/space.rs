@@ -1,0 +1,393 @@
+//! Morton-code space: interleaving, BIGMIN, rectangle decomposition.
+
+/// An n-dimensional Morton (z-order) code space.
+///
+/// Codes pack `ndims * bits_per_dim` bits into a `u128`; bit `b` of
+/// dimension `d` lands at code position `b * ndims + d` (dimension 0
+/// owns the least-significant bit of each group, so it is the
+/// fastest-varying dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZSpace {
+    ndims: usize,
+    bits_per_dim: u32,
+}
+
+impl ZSpace {
+    /// A space of `ndims` dimensions (1..=8). Bits per dimension default
+    /// to the most a `u128` can hold: `min(32, 128 / ndims)`.
+    pub fn new(ndims: usize) -> Self {
+        assert!((1..=8).contains(&ndims), "z-order supports 1..=8 dimensions");
+        let bits = (128 / ndims as u32).min(32);
+        ZSpace { ndims, bits_per_dim: bits }
+    }
+
+    /// Explicit bits per dimension (tests and ablations use small grids).
+    pub fn with_bits(ndims: usize, bits_per_dim: u32) -> Self {
+        assert!((1..=8).contains(&ndims));
+        assert!(bits_per_dim >= 1 && bits_per_dim * ndims as u32 <= 128);
+        ZSpace { ndims, bits_per_dim }
+    }
+
+    pub fn ndims(&self) -> usize {
+        self.ndims
+    }
+
+    pub fn bits_per_dim(&self) -> u32 {
+        self.bits_per_dim
+    }
+
+    fn total_bits(&self) -> u32 {
+        self.bits_per_dim * self.ndims as u32
+    }
+
+    /// Largest coordinate representable in one dimension.
+    pub fn max_coord(&self) -> u32 {
+        if self.bits_per_dim == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits_per_dim) - 1
+        }
+    }
+
+    /// Interleave coordinates into a z-code. Coordinates must fit in
+    /// `bits_per_dim` bits.
+    pub fn encode(&self, coords: &[u32]) -> u128 {
+        assert_eq!(coords.len(), self.ndims, "coordinate arity mismatch");
+        let mut code = 0u128;
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!(
+                c <= self.max_coord(),
+                "coordinate {c} exceeds {} bits",
+                self.bits_per_dim
+            );
+            for b in 0..self.bits_per_dim {
+                if (c >> b) & 1 == 1 {
+                    code |= 1u128 << (b as usize * self.ndims + d);
+                }
+            }
+        }
+        code
+    }
+
+    /// Invert [`encode`](Self::encode).
+    pub fn decode(&self, code: u128) -> Vec<u32> {
+        let mut coords = vec![0u32; self.ndims];
+        for b in 0..self.bits_per_dim {
+            for (d, coord) in coords.iter_mut().enumerate() {
+                if (code >> (b as usize * self.ndims + d)) & 1 == 1 {
+                    *coord |= 1 << b;
+                }
+            }
+        }
+        coords
+    }
+
+    /// Is the point with this code inside the axis-aligned rectangle
+    /// `[lo, hi]` (inclusive corners)?
+    pub fn in_rect(&self, code: u128, lo: &[u32], hi: &[u32]) -> bool {
+        let c = self.decode(code);
+        c.iter().zip(lo).zip(hi).all(|((&v, &l), &h)| v >= l && v <= h)
+    }
+
+    /// Mask of bits belonging to the same dimension as code position `p`,
+    /// strictly below `p`.
+    fn same_dim_below(&self, p: u32) -> u128 {
+        let d = p as usize % self.ndims;
+        let mut m = 0u128;
+        let mut q = d as u32;
+        while q < p {
+            m |= 1u128 << q;
+            q += self.ndims as u32;
+        }
+        m
+    }
+
+    /// Tropf–Herzog "load" with pattern 1000…: set bit `p`, clear lower
+    /// same-dimension bits.
+    fn load_1000(&self, v: u128, p: u32) -> u128 {
+        (v & !self.same_dim_below(p)) | (1u128 << p)
+    }
+
+    /// Tropf–Herzog "load" with pattern 0111…: clear bit `p`, set lower
+    /// same-dimension bits.
+    fn load_0111(&self, v: u128, p: u32) -> u128 {
+        (v & !(1u128 << p)) | self.same_dim_below(p)
+    }
+
+    /// BIGMIN: the smallest z-code `>= z` whose point lies in `[lo, hi]`,
+    /// or `None` if no such code exists.
+    ///
+    /// This is the Tropf–Herzog algorithm generalized to n dimensions; it
+    /// runs in O(total_bits) regardless of rectangle size.
+    pub fn next_in_rect(&self, z: u128, lo: &[u32], hi: &[u32]) -> Option<u128> {
+        assert_eq!(lo.len(), self.ndims);
+        assert_eq!(hi.len(), self.ndims);
+        debug_assert!(lo.iter().zip(hi).all(|(l, h)| l <= h), "empty rectangle");
+        if self.in_rect(z, lo, hi) {
+            return Some(z);
+        }
+        let mut minv = self.encode(lo);
+        let mut maxv = self.encode(hi);
+        let mut bigmin: Option<u128> = None;
+        for p in (0..self.total_bits()).rev() {
+            let zb = (z >> p) & 1;
+            let minb = (minv >> p) & 1;
+            let maxb = (maxv >> p) & 1;
+            match (zb, minb, maxb) {
+                (0, 0, 0) => {}
+                (0, 0, 1) => {
+                    bigmin = Some(self.load_1000(minv, p));
+                    maxv = self.load_0111(maxv, p);
+                }
+                (0, 1, 1) => return Some(minv),
+                (1, 0, 0) => return bigmin,
+                (1, 0, 1) => {
+                    minv = self.load_1000(minv, p);
+                }
+                (1, 1, 1) => {}
+                // min bit 1 with max bit 0 would mean min > max within the
+                // current search box, which load() never produces.
+                _ => unreachable!("inconsistent BIGMIN state"),
+            }
+        }
+        // Loop exhausted: z equals the (degenerate) search box, but we know
+        // z itself is not in the rect, so the answer is whatever bigmin
+        // recorded.
+        bigmin
+    }
+
+    /// Does the z-code interval `[a, b]` contain at least one point of the
+    /// rectangle `[lo, hi]`? This is the storage layer's block-pruning
+    /// predicate: a block whose zone map says it covers z-codes `[a, b]`
+    /// can be skipped iff this returns false.
+    pub fn interval_intersects_rect(&self, a: u128, b: u128, lo: &[u32], hi: &[u32]) -> bool {
+        debug_assert!(a <= b);
+        match self.next_in_rect(a, lo, hi) {
+            Some(z) => z <= b,
+            None => false,
+        }
+    }
+
+    /// Decompose the rectangle `[lo, hi]` into at most `max_ranges`
+    /// disjoint, sorted z-code intervals that together cover exactly the
+    /// rectangle (or over-approximate it once the budget is exhausted —
+    /// still sound for pruning/scanning, just less tight).
+    pub fn decompose_rect(&self, lo: &[u32], hi: &[u32], max_ranges: usize) -> Vec<(u128, u128)> {
+        assert!(max_ranges >= 1);
+        let mut out: Vec<(u128, u128)> = Vec::new();
+        // Recursive split over aligned z-boxes (prefix regions).
+        // Each region is [base, base + 2^len - 1] for an aligned base.
+        fn go(
+            s: &ZSpace,
+            base: u128,
+            len: u32,
+            lo: &[u32],
+            hi: &[u32],
+            budget: &mut usize,
+            out: &mut Vec<(u128, u128)>,
+        ) {
+            let last = base + ((1u128 << len) - 1).min(u128::MAX - base);
+            // Region's bounding box per dimension.
+            let blo = s.decode(base);
+            let bhi = s.decode(last);
+            // An aligned z-box has per-dim coordinate ranges [blo[d], bhi[d]].
+            let disjoint =
+                blo.iter().zip(hi).any(|(&l, &h)| l > h) || bhi.iter().zip(lo).any(|(&h, &l)| h < l);
+            if disjoint {
+                return;
+            }
+            let contained =
+                blo.iter().zip(lo).all(|(&l, &q)| l >= q) && bhi.iter().zip(hi).all(|(&h, &q)| h <= q);
+            if contained || len == 0 || *budget == 0 {
+                // Emit (merging with the previous interval when adjacent).
+                if let Some(prev) = out.last_mut() {
+                    if prev.1 + 1 == base {
+                        prev.1 = last;
+                        return;
+                    }
+                }
+                out.push((base, last));
+                return;
+            }
+            *budget -= 1;
+            let half = len - 1;
+            go(s, base, half, lo, hi, budget, out);
+            go(s, base + (1u128 << half), half, lo, hi, budget, out);
+        }
+        let mut budget = max_ranges.saturating_mul(4).max(8);
+        // Keep splitting while the emitted count stays within max_ranges;
+        // the budget heuristic bounds recursion work.
+        go(self, 0, self.total_bits(), lo, hi, &mut budget, &mut out);
+        // Enforce the cap by merging the closest-gap neighbors.
+        while out.len() > max_ranges {
+            let mut best = 0;
+            let mut best_gap = u128::MAX;
+            for i in 0..out.len() - 1 {
+                let gap = out[i + 1].0 - out[i].1;
+                if gap < best_gap {
+                    best_gap = gap;
+                    best = i;
+                }
+            }
+            let (_, b) = out.remove(best + 1);
+            out[best].1 = b;
+        }
+        out
+    }
+}
+
+/// Normalize a signed integer in `[min, max]` onto the `[0, 2^bits)` grid.
+/// Values outside the range clamp to the edges (new data beyond the stats
+/// range still sorts to the curve's boundary).
+pub fn normalize_i64(v: i64, min: i64, max: i64, bits: u32) -> u32 {
+    debug_assert!(min <= max);
+    let v = v.clamp(min, max);
+    let span = (max as i128 - min as i128 + 1) as u128;
+    let off = (v as i128 - min as i128) as u128;
+    let cells = 1u128 << bits;
+    ((off * cells) / span) as u32
+}
+
+/// Normalize a float in `[min, max]` onto the `[0, 2^bits)` grid.
+pub fn normalize_f64(v: f64, min: f64, max: f64, bits: u32) -> u32 {
+    debug_assert!(min <= max);
+    if max <= min || !v.is_finite() {
+        return 0;
+    }
+    let v = v.clamp(min, max);
+    let cells = (1u128 << bits) as f64;
+    let cell = ((v - min) / (max - min) * cells) as u128;
+    cell.min((1u128 << bits) - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = ZSpace::with_bits(3, 8);
+        for coords in [[0u32, 0, 0], [1, 2, 3], [255, 0, 128], [255, 255, 255]] {
+            let code = s.encode(&coords);
+            assert_eq!(s.decode(code), coords.to_vec());
+        }
+    }
+
+    #[test]
+    fn encode_preserves_2d_interleave_pattern() {
+        let s = ZSpace::with_bits(2, 4);
+        // Classic 2-D Morton: (x=1,y=0) -> 0b01, (x=0,y=1) -> 0b10,
+        // (x=1,y=1) -> 0b11, (x=2,y=0) -> 0b0100.
+        assert_eq!(s.encode(&[1, 0]), 0b01);
+        assert_eq!(s.encode(&[0, 1]), 0b10);
+        assert_eq!(s.encode(&[1, 1]), 0b11);
+        assert_eq!(s.encode(&[2, 0]), 0b0100);
+    }
+
+    #[test]
+    fn next_in_rect_matches_brute_force_2d() {
+        let s = ZSpace::with_bits(2, 4); // 16x16 grid, 256 codes
+        let rects = [([2u32, 3], [5u32, 9]), ([0, 0], [15, 15]), ([7, 7], [7, 7]), ([10, 0], [15, 2])];
+        for (lo, hi) in rects {
+            for z in 0..256u128 {
+                let expect = (z..256).find(|&c| s.in_rect(c, &lo, &hi));
+                assert_eq!(
+                    s.next_in_rect(z, &lo, &hi),
+                    expect,
+                    "z={z} rect={lo:?}..{hi:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_in_rect_matches_brute_force_3d() {
+        let s = ZSpace::with_bits(3, 3); // 8^3 grid, 512 codes
+        let lo = [1u32, 2, 0];
+        let hi = [6u32, 5, 3];
+        for z in 0..512u128 {
+            let expect = (z..512).find(|&c| s.in_rect(c, &lo, &hi));
+            assert_eq!(s.next_in_rect(z, &lo, &hi), expect, "z={z}");
+        }
+    }
+
+    #[test]
+    fn interval_intersection_pruning() {
+        let s = ZSpace::with_bits(2, 4);
+        let lo = [4u32, 4];
+        let hi = [7u32, 7];
+        // The rect [4,7]x[4,7] is exactly the aligned z-box [48, 63].
+        assert_eq!(s.encode(&lo), 48);
+        assert_eq!(s.encode(&hi), 63);
+        assert!(s.interval_intersects_rect(48, 63, &lo, &hi));
+        assert!(s.interval_intersects_rect(0, 48, &lo, &hi));
+        assert!(!s.interval_intersects_rect(0, 47, &lo, &hi));
+        assert!(!s.interval_intersects_rect(64, 255, &lo, &hi));
+    }
+
+    #[test]
+    fn decompose_covers_rect_exactly_with_budget() {
+        let s = ZSpace::with_bits(2, 4);
+        let lo = [3u32, 2];
+        let hi = [12u32, 9];
+        let ranges = s.decompose_rect(&lo, &hi, 64);
+        // Every code in the rect is covered; sorted & disjoint.
+        for w in ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges must be sorted and disjoint: {ranges:?}");
+        }
+        for z in 0..256u128 {
+            let inside = s.in_rect(z, &lo, &hi);
+            let covered = ranges.iter().any(|&(a, b)| z >= a && z <= b);
+            if inside {
+                assert!(covered, "code {z} in rect but not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_respects_max_ranges() {
+        let s = ZSpace::with_bits(2, 6);
+        let ranges = s.decompose_rect(&[1, 1], &[60, 60], 4);
+        assert!(ranges.len() <= 4);
+        // Still a covering (possibly loose).
+        assert!(s.in_rect(ranges[0].0, &[0, 0], &[63, 63]));
+    }
+
+    #[test]
+    fn normalize_i64_spreads_range() {
+        assert_eq!(normalize_i64(0, 0, 255, 8), 0);
+        assert_eq!(normalize_i64(255, 0, 255, 8), 255);
+        assert_eq!(normalize_i64(128, 0, 255, 8), 128);
+        // Clamping.
+        assert_eq!(normalize_i64(-5, 0, 255, 8), 0);
+        assert_eq!(normalize_i64(999, 0, 255, 8), 255);
+        // Negative domains.
+        assert_eq!(normalize_i64(-100, -100, 100, 4), 0);
+        assert_eq!(normalize_i64(100, -100, 100, 4), 15);
+    }
+
+    #[test]
+    fn normalize_f64_handles_degenerate_ranges() {
+        assert_eq!(normalize_f64(1.0, 1.0, 1.0, 8), 0);
+        assert_eq!(normalize_f64(f64::NAN, 0.0, 1.0, 8), 0);
+        assert_eq!(normalize_f64(1.0, 0.0, 1.0, 8), 255);
+        assert_eq!(normalize_f64(0.0, 0.0, 1.0, 8), 0);
+    }
+
+    #[test]
+    fn full_width_codes_do_not_overflow() {
+        let s = ZSpace::new(4); // 4 dims x 32 bits = 128 bits
+        assert_eq!(s.bits_per_dim(), 32);
+        let code = s.encode(&[u32::MAX; 4]);
+        assert_eq!(code, u128::MAX);
+        assert_eq!(s.decode(code), vec![u32::MAX; 4]);
+    }
+
+    #[test]
+    fn one_dimension_degenerates_to_identity() {
+        let s = ZSpace::with_bits(1, 16);
+        for v in [0u32, 1, 9999, 65535] {
+            assert_eq!(s.encode(&[v]), v as u128);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # redshift-sim
+//!
+//! A single-machine reproduction of *Amazon Redshift and the Case for
+//! Simpler Data Warehouses* (SIGMOD 2015): a columnar, massively parallel
+//! SQL data warehouse engine together with the managed-service substrate
+//! the paper describes — replication and backup to a simulated S3,
+//! streaming restore, envelope encryption, and a control plane with
+//! provisioning, patching, resize and fleet telemetry.
+//!
+//! This facade crate re-exports every workspace crate under a stable
+//! module path. Start with [`core::Cluster`] — the equivalent of clicking
+//! "launch cluster" in the console:
+//!
+//! ```
+//! use redshift_sim::core::{Cluster, ClusterConfig};
+//!
+//! let cluster = Cluster::launch(ClusterConfig::new("demo").nodes(2).slices_per_node(2)).unwrap();
+//! cluster.execute("CREATE TABLE t (a INT, b VARCHAR)").unwrap();
+//! cluster.execute("INSERT INTO t VALUES (1, 'hello'), (2, 'world')").unwrap();
+//! let result = cluster.query("SELECT COUNT(*) FROM t").unwrap();
+//! assert_eq!(result.rows[0].get(0).as_i64(), Some(2));
+//! ```
+
+pub use redsim_common as common;
+pub use redsim_controlplane as controlplane;
+pub use redsim_core as core;
+pub use redsim_crypto as crypto;
+pub use redsim_distribution as distribution;
+pub use redsim_engine as engine;
+pub use redsim_replication as replication;
+pub use redsim_simkit as simkit;
+pub use redsim_sql as sql;
+pub use redsim_storage as storage;
+pub use redsim_zorder as zorder;
