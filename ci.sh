@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI for redshift-sim: fully offline build + test + bench-compile, plus a
+# hermeticity guard that fails if any crates.io dependency sneaks back in.
+#
+# The workspace has a zero-dependency policy: everything `rand`,
+# `proptest`, `criterion`, `crossbeam` and `parking_lot` used to provide
+# lives in-tree in `crates/testkit`. CI must pass on a machine with no
+# registry access at all, which is why every cargo invocation is
+# `--offline`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== hermeticity guard: no registry dependencies =="
+# Path dependencies render as `name vX.Y.Z (/abs/path)`; a registry
+# dependency has no `(/` suffix. Any such line fails the build.
+violations=$(cargo tree --workspace --offline --edges normal,build,dev --prefix none \
+  | sort -u | grep -v '(/' | grep -v '^\s*$' || true)
+if [ -n "$violations" ]; then
+  echo "error: non-path dependencies found (zero-dependency policy):" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+echo "ok: all dependencies are workspace-local"
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== benches compile (offline) =="
+cargo bench --no-run --offline -p redsim-bench
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== ci green =="

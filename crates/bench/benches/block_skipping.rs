@@ -2,7 +2,7 @@
 //! sorted vs unsorted data ("column-block skipping based on value-ranges
 //! stored in memory", §6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redsim_testkit::bench::{Bench, BenchmarkId};
 use redsim_common::{ColumnData, ColumnDef, DataType, Schema, Value};
 use redsim_storage::table::{ColumnRange, ScanPredicate, SliceTable, SortKeySpec, TableConfig};
 use redsim_storage::MemBlockStore;
@@ -42,7 +42,7 @@ fn build(sorted: bool) -> (MemBlockStore, SliceTable) {
     (store, t)
 }
 
-fn bench_skipping(c: &mut Criterion) {
+fn bench_skipping(c: &mut Bench) {
     let (sorted_store, sorted_t) = build(true);
     let (unsorted_store, unsorted_t) = build(false);
 
@@ -65,7 +65,7 @@ fn bench_skipping(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("scan_selectivity");
+    let mut g = c.group("scan_selectivity");
     g.sample_size(10);
     for selectivity_pct in [1u64, 10, 50, 100] {
         let hi = ROWS * selectivity_pct as i64 / 100;
@@ -94,5 +94,8 @@ fn bench_skipping(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_skipping);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("e10_block_skipping");
+    bench_skipping(&mut b);
+    b.finish();
+}

@@ -9,7 +9,7 @@
 //! Expected shape: interpretation wins on tiny tables; compilation wins
 //! from modest sizes; the cache removes the overhead entirely.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redsim_testkit::bench::{Bench, BenchmarkId};
 use redsim_core::{Cluster, ClusterConfig};
 use std::sync::Arc;
 
@@ -39,7 +39,7 @@ fn build(rows: usize) -> Arc<Cluster> {
 
 /// A cluster with zero compile cost isolates pure execution for the
 /// cached path.
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile(c: &mut Bench) {
     let sizes = [1_000usize, 10_000, 100_000];
     let clusters: Vec<(usize, Arc<Cluster>)> =
         sizes.iter().map(|&n| (n, build(n))).collect();
@@ -65,7 +65,7 @@ fn bench_compile(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("e7");
+    let mut g = c.group("e7");
     g.sample_size(10);
     for (rows, cluster) in &clusters {
         g.bench_with_input(BenchmarkId::new("cached_vectorized", rows), cluster, |b, cl| {
@@ -79,5 +79,8 @@ fn bench_compile(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("e7_compile_vs_interpret");
+    bench_compile(&mut b);
+    b.finish();
+}

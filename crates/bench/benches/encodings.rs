@@ -1,7 +1,7 @@
 //! E9 — compression encodings: ratio and speed per data shape, and the
 //! automatic analyzer's pick vs the oracle (§2.1's "dusty knob").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redsim_testkit::bench::{Bench, BenchmarkId};
 use redsim_common::{ColumnData, DataType, Value};
 use redsim_storage::analyzer::{analyze_compression, encoding_report};
 use redsim_storage::encoding::{decode_column, encode_column, Encoding};
@@ -43,7 +43,7 @@ fn shapes() -> Vec<(&'static str, ColumnData)> {
     ]
 }
 
-fn bench_encodings(c: &mut Criterion) {
+fn bench_encodings(c: &mut Bench) {
     let shapes = shapes();
 
     // Report table once: sizes per encoding + analyzer pick vs oracle.
@@ -65,7 +65,7 @@ fn bench_encodings(c: &mut Criterion) {
         println!("  {name:<14} {}", cells.join("  "));
     }
 
-    let mut g = c.benchmark_group("encode");
+    let mut g = c.group("encode");
     g.sample_size(10);
     for (name, col) in &shapes {
         for enc in [Encoding::Raw, Encoding::Rle, Encoding::Delta, Encoding::Dict, Encoding::Lzss]
@@ -83,7 +83,7 @@ fn bench_encodings(c: &mut Criterion) {
     }
     g.finish();
 
-    let mut g = c.benchmark_group("decode");
+    let mut g = c.group("decode");
     g.sample_size(10);
     for (name, col) in &shapes {
         let enc = analyze_compression(col, 4_096);
@@ -95,5 +95,9 @@ fn bench_encodings(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encodings);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("e9_encodings");
+    b.json_summary_to("BENCH_e9.json");
+    bench_encodings(&mut b);
+    b.finish();
+}

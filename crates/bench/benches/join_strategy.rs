@@ -2,7 +2,7 @@
 //! same join under DS_DIST_NONE / DS_BCAST_INNER / DS_DIST_BOTH (§2.1's
 //! co-located join claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use redsim_testkit::bench::Bench;
 use redsim_bench::datagen;
 use redsim_core::{Cluster, ClusterConfig};
 use std::sync::Arc;
@@ -43,7 +43,7 @@ fn build() -> Arc<Cluster> {
     c
 }
 
-fn bench_join_strategies(c: &mut Criterion) {
+fn bench_join_strategies(c: &mut Bench) {
     let cluster = build();
     let cases = [
         (
@@ -71,7 +71,7 @@ fn bench_join_strategies(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("join_strategy");
+    let mut g = c.group("join_strategy");
     g.sample_size(10);
     for (label, sql) in &cases {
         g.bench_function(*label, |b| {
@@ -81,5 +81,8 @@ fn bench_join_strategies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_join_strategies);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("e11_join_strategy");
+    bench_join_strategies(&mut b);
+    b.finish();
+}

@@ -7,7 +7,7 @@
 //! single column. Compound sorting prunes brilliantly on `a` and
 //! collapses off-prefix; the z-curve prunes usefully on *every* column.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use redsim_testkit::bench::{Bench, BenchmarkId};
 use redsim_common::{ColumnData, ColumnDef, DataType, Schema, Value};
 use redsim_storage::table::{ColumnRange, ScanPredicate, SliceTable, SortKeySpec, TableConfig};
 use redsim_storage::MemBlockStore;
@@ -57,7 +57,7 @@ fn pred_on(col: usize) -> ScanPredicate {
     }
 }
 
-fn bench_zorder(c: &mut Criterion) {
+fn bench_zorder(c: &mut Bench) {
     let variants = [
         ("none", build(SortKeySpec::None)),
         ("compound", build(SortKeySpec::Compound(vec![0, 1, 2, 3]))),
@@ -79,7 +79,7 @@ fn bench_zorder(c: &mut Criterion) {
         );
     }
 
-    let mut g = c.benchmark_group("e8_scan");
+    let mut g = c.group("e8_scan");
     g.sample_size(10);
     for (name, (store, table)) in &variants {
         for col in 0..4usize {
@@ -96,5 +96,8 @@ fn bench_zorder(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_zorder);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("e8_zorder_vs_compound");
+    bench_zorder(&mut b);
+    b.finish();
+}

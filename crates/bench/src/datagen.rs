@@ -7,8 +7,7 @@
 //! popularity, URLs with shared prefixes (compressible), timestamps in
 //! load order (delta-friendly), and a product catalog.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use redsim_testkit::rng::{Pcg32, Rng};
 use std::fmt::Write as _;
 
 /// One click-stream record.
@@ -23,7 +22,7 @@ pub struct Click {
 
 /// Generate `n` clicks over `n_products` products with Zipf-ish skew.
 pub fn clicks(n: usize, n_products: i64, seed: u64) -> Vec<Click> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let base_ts = 1_430_438_400_000_000i64; // 2015-05-01 00:00:00 UTC, µs
     (0..n)
         .map(|i| {
@@ -72,7 +71,7 @@ pub fn clicks_csv(clicks: &[Click], parts: usize) -> Vec<String> {
 
 /// Product-catalog CSV: `id,name,category,price`.
 pub fn products_csv(n: i64, seed: u64, parts: usize) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x70D0);
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0x70D0);
     let cats = ["books", "electronics", "toys", "grocery", "apparel", "garden"];
     let parts = parts.max(1);
     let mut out = vec![String::new(); parts];

@@ -15,7 +15,7 @@
 //!   every statement the leader executes.
 
 use crate::json::{self, JsonValue};
-use parking_lot::Mutex;
+use redsim_testkit::sync::Mutex;
 use redsim_common::{ColumnDef, DataType, FxHashMap, Result, RsError, Schema};
 
 // ---------------------------------------------------------------------

@@ -1,7 +1,7 @@
 //! The leader node's catalog: table definitions and their per-slice
 //! storage.
 
-use parking_lot::{Mutex, RwLock};
+use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_common::codec::{Reader, Writer};
 use redsim_common::{Result, RsError, Schema};
 use redsim_distribution::{ClusterTopology, DistStyle, RowRouter};

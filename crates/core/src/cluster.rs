@@ -5,9 +5,8 @@ use crate::catalog::{Catalog, PlannerCatalog, TableEntry};
 use crate::config::ClusterConfig;
 use crate::encstore::EncryptedBlockStore;
 use crate::loader;
-use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use redsim_testkit::sync::{Mutex, RwLock};
+use redsim_testkit::rng::Pcg32;
 use redsim_common::codec::{Reader, Writer};
 use redsim_common::{ColumnData, DataType, Result, Row, RsError, Schema, Value};
 use redsim_crypto::{ClusterKeyring, HsmSim, KeyId, WrappedKey};
@@ -80,7 +79,7 @@ pub struct Cluster {
     /// real system uses MVCC; a lock gives the same observable isolation
     /// at this scale — see DESIGN.md.)
     data_lock: RwLock<()>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<Pcg32>,
     /// §5 future work: usage statistics by feature and plan shape.
     usage: UsageStats,
     /// Rows loaded per table since its last ANALYZE (maintenance advisor).
@@ -103,7 +102,7 @@ impl Cluster {
             config.region.clone(),
             config.name.clone(),
         )?;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Pcg32::seed_from_u64(config.seed);
         let (hsm, master_key, keyring) = if config.encryption {
             let hsm = Arc::new(HsmSim::new());
             let master = hsm.create_master(&mut rng);
@@ -483,7 +482,7 @@ impl Cluster {
         let per_slice = entry.router.lock().route(&batch)?;
         // Per-slice appends are independent; run them on worker threads
         // ("COPY is parallelized across slices", §2.1).
-        let results: Vec<Result<()>> = crossbeam_map(
+        let results: Vec<Result<()>> = parallel_map(
             per_slice.into_iter().enumerate().collect(),
             |(slice, cols)| {
                 let store = self.store_for_slice(slice);
@@ -533,7 +532,7 @@ impl Cluster {
         };
         // Parse objects in parallel (each slice "reading data in
         // parallel"), then route + append.
-        let texts: Vec<Result<Vec<ColumnData>>> = crossbeam_map(keys, |key| {
+        let texts: Vec<Result<Vec<ColumnData>>> = parallel_map(keys, |key| {
             let raw = self.s3.get(&self.config.region, &key)?;
             // Undo source-side transforms: decrypt, then decompress
             // ("COPY also directly supports ingestion of … data that is
@@ -563,7 +562,7 @@ impl Cluster {
             self.append_distributed(&entry, batch, false)?;
         }
         // Flush buffered tails on every slice.
-        let results: Vec<Result<()>> = crossbeam_map(
+        let results: Vec<Result<()>> = parallel_map(
             (0..entry.slices.len()).collect(),
             |slice| {
                 entry.slices[slice].lock().flush(self.store_for_slice(slice).as_ref())
@@ -604,7 +603,7 @@ impl Cluster {
         };
         let mut rewritten = 0u64;
         for entry in targets {
-            let results: Vec<Result<u64>> = crossbeam_map(
+            let results: Vec<Result<u64>> = parallel_map(
                 (0..entry.slices.len()).collect(),
                 |slice| {
                     entry.slices[slice].lock().vacuum(self.store_for_slice(slice).as_ref())
@@ -642,7 +641,7 @@ impl Cluster {
             (0..entry.slices.len()).collect()
         };
         let builders: Vec<Result<redsim_storage::stats::StatsBuilder>> =
-            crossbeam_map(slice_range, |slice| {
+            parallel_map(slice_range, |slice| {
                 entry.slices[slice].lock().analyze(self.store_for_slice(slice).as_ref())
             });
         let mut merged: Option<redsim_storage::stats::StatsBuilder> = None;
@@ -766,7 +765,7 @@ impl Cluster {
             config.dr_region.clone(),
             config.system_snapshot_retention,
         );
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Pcg32::seed_from_u64(config.seed);
         Ok(Arc::new(Cluster {
             plan_cache: PlanCache::with_work(config.plan_cache_size, config.compile_work_per_node),
             topology,
@@ -859,7 +858,7 @@ impl Cluster {
                 (0..entry.slices.len()).collect()
             };
             let all_cols: Vec<usize> = (0..entry.schema.len()).collect();
-            let scans: Vec<Result<ScanOutput>> = crossbeam_map(src_slices, |slice| {
+            let scans: Vec<Result<ScanOutput>> = parallel_map(src_slices, |slice| {
                 entry.slices[slice].lock().scan(
                     self.store_for_slice(slice).as_ref(),
                     &all_cols,
@@ -871,7 +870,7 @@ impl Cluster {
                     target.append_distributed(&new_entry, batch, false)?;
                 }
             }
-            let flushes: Vec<Result<()>> = crossbeam_map(
+            let flushes: Vec<Result<()>> = parallel_map(
                 (0..new_entry.slices.len()).collect(),
                 |slice| {
                     new_entry.slices[slice]
@@ -1199,22 +1198,8 @@ fn parse_hex_key(hex: &str) -> Result<redsim_crypto::Key> {
 }
 
 /// Run `f` over owned inputs on scoped threads, preserving order.
-fn crossbeam_map<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
-    let n = inputs.len();
-    if n <= 1 {
-        return inputs.into_iter().map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (input, slot) in inputs.into_iter().zip(out.iter_mut()) {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(input));
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|o| o.expect("filled")).collect()
+fn parallel_map<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    redsim_testkit::par::map(inputs, f)
 }
 
 #[cfg(test)]

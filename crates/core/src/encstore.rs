@@ -6,9 +6,8 @@
 //! key from the cluster keyring, per the paper's injection-attack
 //! rationale.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use redsim_testkit::sync::Mutex;
+use redsim_testkit::rng::Pcg32;
 use redsim_common::Result;
 use redsim_crypto::{decrypt_payload, encrypt_payload, ClusterKeyring, EncryptedPayload};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock};
@@ -18,12 +17,12 @@ use std::sync::Arc;
 pub struct EncryptedBlockStore<S: BlockStore> {
     inner: S,
     keyring: Arc<ClusterKeyring>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<Pcg32>,
 }
 
 impl<S: BlockStore> EncryptedBlockStore<S> {
     pub fn new(inner: S, keyring: Arc<ClusterKeyring>, seed: u64) -> Self {
-        EncryptedBlockStore { inner, keyring, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        EncryptedBlockStore { inner, keyring, rng: Mutex::new(Pcg32::seed_from_u64(seed)) }
     }
 
     pub fn keyring(&self) -> &Arc<ClusterKeyring> {
@@ -79,7 +78,7 @@ mod tests {
 
     fn keyring() -> Arc<ClusterKeyring> {
         let hsm = HsmSim::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let master = hsm.create_master(&mut rng);
         Arc::new(ClusterKeyring::create(&hsm, master, &mut rng).unwrap())
     }

@@ -8,7 +8,7 @@
 
 use crate::keys::Key;
 use crate::xtea::ctr_transform;
-use rand::RngCore;
+use redsim_testkit::rng::RngCore;
 use redsim_common::codec::{crc32, Reader, Writer};
 use redsim_common::{Result, RsError};
 
@@ -63,12 +63,11 @@ pub fn decrypt_payload(key: &Key, enc: &EncryptedPayload) -> Result<Vec<u8>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use redsim_testkit::rng::Pcg32;
 
     #[test]
     fn roundtrip() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let key = Key::generate(&mut rng);
         let data = b"columnar block payload".to_vec();
         let enc = encrypt_payload(&key, &data, &mut rng);
@@ -78,7 +77,7 @@ mod tests {
 
     #[test]
     fn ciphertext_hides_plaintext() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg32::seed_from_u64(2);
         let key = Key::generate(&mut rng);
         let data = vec![b'A'; 1024];
         let enc = encrypt_payload(&key, &data, &mut rng);
@@ -88,7 +87,7 @@ mod tests {
 
     #[test]
     fn wrong_key_detected() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let key = Key::generate(&mut rng);
         let other = Key::generate(&mut rng);
         let enc = encrypt_payload(&key, b"secret", &mut rng);
@@ -97,7 +96,7 @@ mod tests {
 
     #[test]
     fn tamper_detected() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Pcg32::seed_from_u64(4);
         let key = Key::generate(&mut rng);
         let mut enc = encrypt_payload(&key, b"secret data here", &mut rng);
         let n = enc.ciphertext.len();
@@ -107,7 +106,7 @@ mod tests {
 
     #[test]
     fn serialize_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Pcg32::seed_from_u64(5);
         let key = Key::generate(&mut rng);
         let enc = encrypt_payload(&key, b"payload", &mut rng);
         let rt = EncryptedPayload::deserialize(&enc.serialize()).unwrap();
@@ -117,7 +116,7 @@ mod tests {
 
     #[test]
     fn empty_payload() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Pcg32::seed_from_u64(6);
         let key = Key::generate(&mut rng);
         let enc = encrypt_payload(&key, b"", &mut rng);
         assert_eq!(decrypt_payload(&key, &enc).unwrap(), Vec::<u8>::new());

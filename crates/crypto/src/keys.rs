@@ -1,8 +1,8 @@
 //! Key hierarchy: block keys ← cluster key ← master key (HSM).
 
 use crate::xtea::ctr_transform;
-use parking_lot::Mutex;
-use rand::RngCore;
+use redsim_testkit::sync::Mutex;
+use redsim_testkit::rng::RngCore;
 use redsim_common::{FxHashMap, Result, RsError};
 
 /// A 128-bit symmetric key.
@@ -289,11 +289,10 @@ impl ClusterKeyring {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use redsim_testkit::rng::Pcg32;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Pcg32 {
+        Pcg32::seed_from_u64(42)
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! real here: the compiled path runs the batch-at-a-time engine, the
 //! uncompiled path runs the row-at-a-time interpreter.
 
-use parking_lot::Mutex;
+use redsim_testkit::sync::Mutex;
 use redsim_common::hash::mix64;
 use redsim_sql::plan::LogicalPlan;
 use std::collections::VecDeque;

@@ -1,8 +1,9 @@
 //! The distributed executor.
 //!
 //! A logical plan runs as per-slice fragments joined by exchanges:
-//! scans/filters/joins execute on every slice in parallel (crossbeam
-//! scoped threads — one slice per core, as in §2.1), aggregation runs
+//! scans/filters/joins execute on every slice in parallel (std scoped
+//! threads via `testkit::par` — one slice per core, as in §2.1),
+//! aggregation runs
 //! partial-per-slice then final-at-leader, and sorts/limits finish at the
 //! leader, which "performs final aggregation of results when required".
 //! Exchange operators count the bytes they move so experiment E11 can
@@ -10,7 +11,7 @@
 
 use crate::expr::{eval, eval_predicate};
 use crate::hashkey::HKey;
-use parking_lot::Mutex;
+use redsim_testkit::sync::Mutex;
 use redsim_common::{
     ColumnData, DataType, FxHashMap, FxHashSet, Result, Row, Value,
 };
@@ -932,40 +933,10 @@ fn concat_batches_opt(batches: Vec<Batch>) -> Option<Batch> {
 
 /// Run `f(0..n)` on scoped threads, preserving order.
 fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(i));
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    redsim_testkit::par::map_indexed(n, f)
 }
 
 /// Like [`parallel_map`] but consuming owned inputs.
-fn parallel_map_owned<I: Send, T: Send>(
-    inputs: Vec<I>,
-    f: impl Fn(I) -> T + Sync,
-) -> Vec<T> {
-    let n = inputs.len();
-    if n <= 1 {
-        return inputs.into_iter().map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (input, slot) in inputs.into_iter().zip(out.iter_mut()) {
-            let f = &f;
-            s.spawn(move |_| {
-                *slot = Some(f(input));
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|o| o.expect("filled")).collect()
+fn parallel_map_owned<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    redsim_testkit::par::map(inputs, f)
 }

@@ -649,7 +649,7 @@ mod tests {
 #[cfg(test)]
 mod like_properties {
     use super::LikeMatcher;
-    use proptest::prelude::*;
+    use redsim_testkit::prop::{self, Config};
 
     /// Exponential-but-correct reference implementation.
     fn oracle(pattern: &[char], text: &[char]) -> bool {
@@ -663,20 +663,21 @@ mod like_properties {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(512))]
-
-        #[test]
-        fn matcher_agrees_with_oracle(
-            pattern in "[ab%_]{0,10}",
-            text in "[ab]{0,12}",
-        ) {
-            let fast = LikeMatcher::new(&pattern).matches(&text);
-            let slow = oracle(
-                &pattern.chars().collect::<Vec<_>>(),
-                &text.chars().collect::<Vec<_>>(),
-            );
-            prop_assert_eq!(fast, slow, "pattern={:?} text={:?}", pattern, text);
-        }
+    #[test]
+    fn matcher_agrees_with_oracle() {
+        let gen = prop::pair(prop::pattern("[ab%_]{0,10}"), prop::pattern("[ab]{0,12}"));
+        prop::check(
+            "matcher_agrees_with_oracle",
+            &Config::with_cases(512),
+            &gen,
+            |(pattern, text)| {
+                let fast = LikeMatcher::new(pattern).matches(text);
+                let slow = oracle(
+                    &pattern.chars().collect::<Vec<_>>(),
+                    &text.chars().collect::<Vec<_>>(),
+                );
+                assert_eq!(fast, slow, "pattern={:?} text={:?}", pattern, text);
+            },
+        );
     }
 }

@@ -13,7 +13,7 @@
 //!   compilation's "fixed overhead per query … is generally amortized by
 //!   the tighter execution" (experiment E7).
 //! * [`exec`] — the distributed executor: per-slice parallel fragments
-//!   (crossbeam scoped threads), broadcast/redistribute exchanges with
+//!   (std scoped threads via testkit::par), broadcast/redistribute exchanges with
 //!   byte accounting (experiment E11), partial/final aggregation at the
 //!   leader.
 //! * [`compile`] — query "compilation": plan specialization with a

@@ -9,7 +9,7 @@
 
 use crate::mirror::ReplicatedStore;
 use crate::s3sim::S3Sim;
-use parking_lot::Mutex;
+use redsim_testkit::sync::Mutex;
 use redsim_common::codec::{Reader, Writer};
 use redsim_common::{Result, RsError};
 use redsim_storage::BlockId;

@@ -1,7 +1,7 @@
 //! Synchronous primary/secondary block mirroring with cohort placement.
 
 use crate::s3sim::S3Sim;
-use parking_lot::{Mutex, RwLock};
+use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_common::{FxHashMap, Result, RsError};
 use redsim_distribution::{CohortMap, NodeId};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};

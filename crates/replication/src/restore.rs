@@ -9,7 +9,7 @@
 //! in background."
 
 use crate::s3sim::S3Sim;
-use parking_lot::Mutex;
+use redsim_testkit::sync::Mutex;
 use redsim_common::{Result, RsError};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};
 use std::collections::VecDeque;

@@ -5,7 +5,7 @@
 //! modeled as absolute ("designed to provide 99.9999999% durability")
 //! unless a test explicitly injects object loss.
 
-use parking_lot::RwLock;
+use redsim_testkit::sync::RwLock;
 use redsim_common::{Result, RsError};
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -1,26 +1,24 @@
 //! Seeded randomness for simulations.
 //!
-//! PCG32 (O'Neill) — small, fast, and statistically solid for modeling
-//! purposes. Implemented locally so simulation results are reproducible
-//! byte-for-byte regardless of external crate versions. (The `rand` crate
-//! is still used elsewhere for *workload* generation, where exact stream
-//! stability across versions matters less.)
+//! The PCG32 core that used to live here was promoted into
+//! [`redsim_testkit::rng::Pcg32`] as the whole workspace's one true
+//! PRNG (it now also backs workload generation, crypto key material and
+//! property tests). `SimRng` wraps it, keeping the exact historical
+//! init/output streams byte-for-byte, and layers the simulation-domain
+//! distributions (exponential, normal, Pareto, weighted choice) on top.
 
-/// A seeded PCG32 generator.
+use redsim_testkit::rng::{Pcg32, RngCore};
+
+/// A seeded PCG32 generator with simulation-flavored distributions.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    state: u64,
-    inc: u64,
+    core: Pcg32,
 }
 
 impl SimRng {
     /// Create from a seed and stream id. Equal seeds ⇒ equal streams.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = SimRng { state: 0, inc: (stream << 1) | 1 };
-        rng.next_u32();
-        rng.state = rng.state.wrapping_add(seed);
-        rng.next_u32();
-        rng
+        SimRng { core: Pcg32::new(seed, stream) }
     }
 
     /// Convenience: stream 0.
@@ -30,19 +28,15 @@ impl SimRng {
 
     /// Derive an independent child stream (per-cluster, per-node RNGs).
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        SimRng::new(self.next_u64(), stream)
+        SimRng { core: self.core.fork(stream) }
     }
 
     pub fn next_u32(&mut self) -> u32 {
-        let old = self.state;
-        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
-        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
-        let rot = (old >> 59) as u32;
-        xorshifted.rotate_right(rot)
+        self.core.next_u32()
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+        self.core.next_u64()
     }
 
     /// Uniform in [0, 1).
@@ -53,14 +47,7 @@ impl SimRng {
 
     /// Uniform integer in [0, bound). Unbiased via rejection.
     pub fn gen_range(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0);
-        let threshold = bound.wrapping_neg() % bound;
-        loop {
-            let r = self.next_u64();
-            if r >= threshold {
-                return r % bound;
-            }
-        }
+        redsim_testkit::rng::gen_u64_below(&mut self.core, bound)
     }
 
     /// Uniform f64 in [lo, hi).
@@ -133,6 +120,15 @@ impl SimRng {
     }
 }
 
+/// `SimRng` is a [`redsim_testkit::rng::RngCore`], so simulations can
+/// hand it to anything that takes `&mut dyn RngCore` (e.g. crypto key
+/// generation) without re-seeding.
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.core.next_u32()
+    }
+}
+
 /// A named distribution over non-negative durations/sizes, used in model
 /// configs so calibration constants stay declarative.
 #[derive(Debug, Clone)]
@@ -202,6 +198,17 @@ mod tests {
         }
         let mut c = SimRng::seeded(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn promotion_kept_historical_streams() {
+        // The PCG32 promotion to testkit must not shift any simulation
+        // stream: SimRng and Pcg32 with equal (seed, stream) agree.
+        let mut a = SimRng::new(42, 3);
+        let mut b = Pcg32::new(42, 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! without the storage layer knowing.
 
 use crate::block::{BlockId, EncodedBlock};
-use parking_lot::RwLock;
+use redsim_testkit::sync::RwLock;
 use redsim_common::{FxHashMap, Result, RsError};
 use std::sync::Arc;
 

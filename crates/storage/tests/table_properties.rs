@@ -1,10 +1,10 @@
 //! Property tests for the storage layer's core invariants.
 
-use proptest::prelude::*;
 use redsim_common::codec::{Reader, Writer};
 use redsim_common::{ColumnData, ColumnDef, DataType, Schema, Value};
 use redsim_storage::table::{ColumnRange, ScanPredicate, SliceTable, SortKeySpec, TableConfig};
 use redsim_storage::MemBlockStore;
+use redsim_testkit::prop::{self, Config, Gen};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -50,113 +50,141 @@ fn all_rows(store: &MemBlockStore, t: &SliceTable) -> Vec<(Option<i64>, Option<S
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// `(key, optional short string)` rows, the bread-and-butter table shape.
+fn arb_rows(max_str: &'static str, len: std::ops::Range<usize>) -> Gen<Vec<(i64, Option<String>)>> {
+    prop::vec_of(
+        prop::pair(prop::any_i64(), prop::option_of(prop::pattern(max_str))),
+        len,
+    )
+}
 
-    /// Whatever goes in comes back out (append/flush/scan), regardless of
-    /// group size and data shape.
-    #[test]
-    fn scan_returns_exactly_what_was_appended(
-        rows in prop::collection::vec((any::<i64>(), prop::option::of("[a-z]{0,8}")), 0..300),
-        rows_per_group in 1usize..64,
-    ) {
-        let (store, t) = build_table(&rows, SortKeySpec::None, rows_per_group);
-        let mut got = all_rows(&store, &t);
-        let mut want: Vec<(Option<i64>, Option<String>)> =
-            rows.iter().map(|(a, b)| (Some(*a), b.clone())).collect();
-        got.sort();
-        want.sort();
-        prop_assert_eq!(got, want);
-        prop_assert_eq!(t.row_count(), rows.len() as u64);
-    }
+/// Whatever goes in comes back out (append/flush/scan), regardless of
+/// group size and data shape.
+#[test]
+fn scan_returns_exactly_what_was_appended() {
+    let gen = prop::pair(arb_rows("[a-z]{0,8}", 0..300), prop::range(1usize..64));
+    prop::check(
+        "scan_returns_exactly_what_was_appended",
+        &Config::with_cases(48),
+        &gen,
+        |(rows, rows_per_group)| {
+            let (store, t) = build_table(rows, SortKeySpec::None, *rows_per_group);
+            let mut got = all_rows(&store, &t);
+            let mut want: Vec<(Option<i64>, Option<String>)> =
+                rows.iter().map(|(a, b)| (Some(*a), b.clone())).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+            assert_eq!(t.row_count(), rows.len() as u64);
+        },
+    );
+}
 
-    /// VACUUM preserves the multiset of rows and produces global order.
-    #[test]
-    fn vacuum_preserves_rows_and_sorts(
-        rows in prop::collection::vec((any::<i64>(), prop::option::of("[a-z]{0,6}")), 1..250),
-        rows_per_group in 4usize..64,
-    ) {
-        let (store, mut t) = build_table(&rows, SortKeySpec::Compound(vec![0]), rows_per_group);
-        let mut before = all_rows(&store, &t);
-        let rewritten = t.vacuum(&store).unwrap();
-        prop_assert_eq!(rewritten, rows.len() as u64);
-        let after = all_rows(&store, &t);
-        // Multiset equal.
-        let mut after_sorted = after.clone();
-        before.sort();
-        after_sorted.sort();
-        prop_assert_eq!(&before, &after_sorted);
-        // Globally sorted by the key.
-        let keys: Vec<Option<i64>> = after.iter().map(|(a, _)| *a).collect();
-        let mut expect = keys.clone();
-        expect.sort();
-        prop_assert_eq!(keys, expect);
-        prop_assert_eq!(t.unsorted_rows(), 0);
-    }
+/// VACUUM preserves the multiset of rows and produces global order.
+#[test]
+fn vacuum_preserves_rows_and_sorts() {
+    let gen = prop::pair(arb_rows("[a-z]{0,6}", 1..250), prop::range(4usize..64));
+    prop::check(
+        "vacuum_preserves_rows_and_sorts",
+        &Config::with_cases(48),
+        &gen,
+        |(rows, rows_per_group)| {
+            let (store, mut t) =
+                build_table(rows, SortKeySpec::Compound(vec![0]), *rows_per_group);
+            let mut before = all_rows(&store, &t);
+            let rewritten = t.vacuum(&store).unwrap();
+            assert_eq!(rewritten, rows.len() as u64);
+            let after = all_rows(&store, &t);
+            // Multiset equal.
+            let mut after_sorted = after.clone();
+            before.sort();
+            after_sorted.sort();
+            assert_eq!(before, after_sorted);
+            // Globally sorted by the key.
+            let keys: Vec<Option<i64>> = after.iter().map(|(a, _)| *a).collect();
+            let mut expect = keys.clone();
+            expect.sort();
+            assert_eq!(keys, expect);
+            assert_eq!(t.unsorted_rows(), 0);
+        },
+    );
+}
 
-    /// Pruned scans never lose a matching row, for any sort layout.
-    #[test]
-    fn pruning_is_sound(
-        keys in prop::collection::vec(-500i64..500, 1..300),
-        lo in -500i64..500,
-        width in 0i64..300,
-        vacuum in any::<bool>(),
-    ) {
-        let rows: Vec<(i64, Option<String>)> =
-            keys.iter().map(|&k| (k, Some(format!("s{k}")))).collect();
-        let (store, mut t) = build_table(&rows, SortKeySpec::Compound(vec![0]), 16);
-        if vacuum {
-            t.vacuum(&store).unwrap();
-        }
-        let hi = lo + width;
-        let pred = ScanPredicate {
-            ranges: vec![ColumnRange {
-                col: 0,
-                lo: Some(Value::Int8(lo)),
-                hi: Some(Value::Int8(hi)),
-            }],
-        };
-        let out = t.scan(&store, &[0], Some(&pred)).unwrap();
-        let mut surviving = 0usize;
-        for b in &out.batches {
-            for i in 0..b[0].len() {
-                if let Some(k) = b[0].get_i64(i) {
-                    if k >= lo && k <= hi {
-                        surviving += 1;
+/// Pruned scans never lose a matching row, for any sort layout.
+#[test]
+fn pruning_is_sound() {
+    let gen = prop::tuple4(
+        prop::vec_of(prop::range(-500i64..500), 1..300),
+        prop::range(-500i64..500),
+        prop::range(0i64..300),
+        prop::any_bool(),
+    );
+    prop::check(
+        "pruning_is_sound",
+        &Config::with_cases(48),
+        &gen,
+        |(keys, lo, width, vacuum)| {
+            let rows: Vec<(i64, Option<String>)> =
+                keys.iter().map(|&k| (k, Some(format!("s{k}")))).collect();
+            let (store, mut t) = build_table(&rows, SortKeySpec::Compound(vec![0]), 16);
+            if *vacuum {
+                t.vacuum(&store).unwrap();
+            }
+            let (lo, hi) = (*lo, *lo + *width);
+            let pred = ScanPredicate {
+                ranges: vec![ColumnRange {
+                    col: 0,
+                    lo: Some(Value::Int8(lo)),
+                    hi: Some(Value::Int8(hi)),
+                }],
+            };
+            let out = t.scan(&store, &[0], Some(&pred)).unwrap();
+            let mut surviving = 0usize;
+            for b in &out.batches {
+                for i in 0..b[0].len() {
+                    if let Some(k) = b[0].get_i64(i) {
+                        if k >= lo && k <= hi {
+                            surviving += 1;
+                        }
                     }
                 }
             }
-        }
-        let expect = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
-        prop_assert_eq!(surviving, expect, "pruning dropped matching rows");
-    }
+            let expect = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
+            assert_eq!(surviving, expect, "pruning dropped matching rows");
+        },
+    );
+}
 
-    /// Metadata round-trips: a decoded table scans identically.
-    #[test]
-    fn meta_roundtrip_any_table(
-        rows in prop::collection::vec((any::<i64>(), prop::option::of("[a-z]{0,6}")), 0..150),
-        interleaved in any::<bool>(),
-    ) {
-        let sort = if interleaved {
-            SortKeySpec::Interleaved(vec![0])
-        } else {
-            SortKeySpec::Compound(vec![0])
-        };
-        let (store, mut t) = build_table(&rows, sort, 16);
-        if !rows.is_empty() {
-            t.vacuum(&store).unwrap();
-        }
-        let mut w = Writer::new();
-        t.encode_meta(&mut w);
-        let bytes = w.into_bytes();
-        let t2 = SliceTable::decode_meta(&mut Reader::new(&bytes)).unwrap();
-        let mut a = all_rows(&store, &t);
-        let mut b = all_rows(&store, &t2);
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(t.row_count(), t2.row_count());
-    }
+/// Metadata round-trips: a decoded table scans identically.
+#[test]
+fn meta_roundtrip_any_table() {
+    let gen = prop::pair(arb_rows("[a-z]{0,6}", 0..150), prop::any_bool());
+    prop::check(
+        "meta_roundtrip_any_table",
+        &Config::with_cases(48),
+        &gen,
+        |(rows, interleaved)| {
+            let sort = if *interleaved {
+                SortKeySpec::Interleaved(vec![0])
+            } else {
+                SortKeySpec::Compound(vec![0])
+            };
+            let (store, mut t) = build_table(rows, sort, 16);
+            if !rows.is_empty() {
+                t.vacuum(&store).unwrap();
+            }
+            let mut w = Writer::new();
+            t.encode_meta(&mut w);
+            let bytes = w.into_bytes();
+            let t2 = SliceTable::decode_meta(&mut Reader::new(&bytes)).unwrap();
+            let mut a = all_rows(&store, &t);
+            let mut b = all_rows(&store, &t2);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            assert_eq!(t.row_count(), t2.row_count());
+        },
+    );
 }
 
 /// Interleaved tables keep pruning after a metadata round-trip (the

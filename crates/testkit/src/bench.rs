@@ -1,0 +1,568 @@
+//! A measurement harness with criterion's API shape — warmup,
+//! fixed sample counts, p50/p99/mean/min/max, optional throughput —
+//! writing aligned text to stdout and CSV (plus optional JSON summary)
+//! into the workspace `results/` directory.
+//!
+//! The six bench binaries build a [`Bench`], register functions through
+//! [`Group::bench_function`] / [`Group::bench_with_input`] exactly like
+//! criterion groups, and call [`Bench::finish`].
+//!
+//! Env knobs:
+//! * `RSIM_BENCH_QUICK=1` — 3 samples, short warmup (smoke-test mode);
+//! * `RSIM_RESULTS_DIR=<dir>` — overrides the report directory.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    pub group: String,
+    pub bench: String,
+    pub input: String,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p99_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// Elements processed per iteration, if declared via
+    /// [`Group::throughput_elems`].
+    pub throughput_elems: Option<u64>,
+}
+
+impl Record {
+    /// Elements per second at the mean, when throughput was declared.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.throughput_elems.map(|n| n as f64 * 1e9 / self.mean_ns.max(1e-9))
+    }
+}
+
+/// Measurement tuning shared by all benches in a harness.
+#[derive(Debug, Clone)]
+struct Tuning {
+    samples: usize,
+    warmup: Duration,
+    target_sample: Duration,
+}
+
+impl Tuning {
+    fn from_env() -> Tuning {
+        if std::env::var("RSIM_BENCH_QUICK").map(|v| v != "0").unwrap_or(false) {
+            Tuning {
+                samples: 3,
+                warmup: Duration::from_millis(2),
+                target_sample: Duration::from_millis(4),
+            }
+        } else {
+            Tuning {
+                samples: 10,
+                warmup: Duration::from_millis(20),
+                target_sample: Duration::from_millis(25),
+            }
+        }
+    }
+}
+
+/// The harness: owns results and report paths. One per bench binary.
+pub struct Bench {
+    name: String,
+    records: Vec<Record>,
+    tuning: Tuning,
+    results_dir: PathBuf,
+    json_out: Option<PathBuf>,
+}
+
+impl Bench {
+    pub fn new(name: impl Into<String>) -> Bench {
+        let name = name.into();
+        let results_dir = default_results_dir();
+        Bench { name, records: Vec::new(), tuning: Tuning::from_env(), results_dir, json_out: None }
+    }
+
+    /// Override the report directory (tests use a temp dir).
+    pub fn results_dir(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.results_dir = dir.into();
+        self
+    }
+
+    /// Also write a machine-readable JSON summary to `path` (relative
+    /// paths resolve against the workspace root / results parent).
+    pub fn json_summary_to(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        let p: PathBuf = path.into();
+        self.json_out = Some(if p.is_absolute() {
+            p
+        } else {
+            self.results_dir.parent().map(|d| d.join(&p)).unwrap_or(p)
+        });
+        self
+    }
+
+    /// Begin a named group (criterion's `benchmark_group`).
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.into(),
+            sample_size: None,
+            throughput_elems: None,
+        }
+    }
+
+    /// Shorthand: a single function in an anonymous group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.group("");
+        g.bench_function(id.into(), f);
+        g.finish();
+    }
+
+    fn run_one(
+        &mut self,
+        group: &str,
+        bench: &str,
+        input: &str,
+        sample_size: Option<usize>,
+        throughput_elems: Option<u64>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut tuning = self.tuning.clone();
+        if let Some(n) = sample_size {
+            // criterion semantics: sample_size(10) means 10 samples; our
+            // quick mode may lower it further.
+            tuning.samples = tuning.samples.min(n.max(2));
+        }
+        let mut b = Bencher { tuning, result: None };
+        f(&mut b);
+        let Some((iters, samples_ns)) = b.result else {
+            // Routine never called `iter` — record nothing.
+            return;
+        };
+        let rec = summarize(group, bench, input, iters, &samples_ns, throughput_elems);
+        let label = display_label(group, bench, input);
+        let tput = rec
+            .elems_per_sec()
+            .map(|e| format!("  thrpt: {}/s", fmt_count_f(e)))
+            .unwrap_or_default();
+        println!(
+            "{label:<52} time: [p50 {:>9} p99 {:>9} mean {:>9}]{tput}",
+            fmt_ns(rec.p50_ns),
+            fmt_ns(rec.p99_ns),
+            fmt_ns(rec.mean_ns),
+        );
+        self.records.push(rec);
+    }
+
+    /// All measurements so far (exposed for programmatic consumers).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Print the final aligned table and write `results/<name>.csv`
+    /// (+ JSON summary if requested). Returns the records.
+    pub fn finish(self) -> Vec<Record> {
+        println!("\n== {} — {} benches ==", self.name, self.records.len());
+        let header = ["group", "bench", "input", "p50", "p99", "mean", "iters"];
+        let mut rows: Vec<[String; 7]> = Vec::new();
+        for r in &self.records {
+            rows.push([
+                r.group.clone(),
+                r.bench.clone(),
+                r.input.clone(),
+                fmt_ns(r.p50_ns),
+                fmt_ns(r.p99_ns),
+                fmt_ns(r.mean_ns),
+                r.iters_per_sample.to_string(),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&header.map(String::from)));
+        for row in &rows {
+            println!("{}", fmt_row(row.as_slice()));
+        }
+
+        if let Err(e) = std::fs::create_dir_all(&self.results_dir) {
+            eprintln!("[testkit::bench] cannot create {}: {e}", self.results_dir.display());
+        }
+        let csv_path = self.results_dir.join(format!("{}.csv", self.name));
+        match std::fs::write(&csv_path, self.to_csv()) {
+            Ok(()) => println!("\nwrote {}", csv_path.display()),
+            Err(e) => eprintln!("[testkit::bench] cannot write {}: {e}", csv_path.display()),
+        }
+        if let Some(json_path) = &self.json_out {
+            match std::fs::write(json_path, self.to_json()) {
+                Ok(()) => println!("wrote {}", json_path.display()),
+                Err(e) => eprintln!("[testkit::bench] cannot write {}: {e}", json_path.display()),
+            }
+        }
+        self.records
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "group,bench,input,samples,iters_per_sample,p50_ns,p99_ns,mean_ns,min_ns,max_ns,elems_per_sec\n",
+        );
+        for r in &self.records {
+            writeln!(
+                out,
+                "{},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{}",
+                csv_field(&r.group),
+                csv_field(&r.bench),
+                csv_field(&r.input),
+                r.samples,
+                r.iters_per_sample,
+                r.p50_ns,
+                r.p99_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.elems_per_sec().map(|e| format!("{e:.0}")).unwrap_or_default(),
+            )
+            .expect("write to string");
+        }
+        out
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        let unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        writeln!(out, "{{").unwrap();
+        writeln!(out, "  \"harness\": {},", json_str(&self.name)).unwrap();
+        writeln!(out, "  \"generated_unix\": {unix},").unwrap();
+        writeln!(out, "  \"benches\": [").unwrap();
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"group\": {}, \"bench\": {}, \"input\": {}, \"samples\": {}, \
+                 \"iters_per_sample\": {}, \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{comma}",
+                json_str(&r.group),
+                json_str(&r.bench),
+                json_str(&r.input),
+                r.samples,
+                r.iters_per_sample,
+                r.p50_ns,
+                r.p99_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+            )
+            .unwrap();
+        }
+        writeln!(out, "  ]").unwrap();
+        writeln!(out, "}}").unwrap();
+        out
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: Option<usize>,
+    throughput_elems: Option<u64>,
+}
+
+impl Group<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare elements-processed-per-iteration for throughput reporting.
+    pub fn throughput_elems(&mut self, n: u64) -> &mut Self {
+        self.throughput_elems = Some(n);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let (name, ss, tp) = (self.name.clone(), self.sample_size, self.throughput_elems);
+        self.bench.run_one(&name, &id, "", ss, tp, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let (name, ss, tp) = (self.name.clone(), self.sample_size, self.throughput_elems);
+        self.bench.run_one(&name, &id.function, &id.parameter, ss, tp, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Function + parameter label (criterion's `BenchmarkId`).
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl ToString, parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+/// Passed to the routine; call [`Bencher::iter`] with the hot closure.
+pub struct Bencher {
+    tuning: Tuning,
+    result: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    /// Warm up, calibrate iterations-per-sample to the target sample
+    /// duration, then time `tuning.samples` samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup + calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.tuning.warmup || warm_iters >= 1_000 {
+                break;
+            }
+        }
+        let per_iter_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters = ((self.tuning.target_sample.as_nanos() as f64 / per_iter_ns) as u64)
+            .clamp(1, 10_000_000);
+
+        let mut samples_ns = Vec::with_capacity(self.tuning.samples);
+        for _ in 0..self.tuning.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some((iters, samples_ns));
+    }
+}
+
+fn summarize(
+    group: &str,
+    bench: &str,
+    input: &str,
+    iters: u64,
+    samples_ns: &[f64],
+    throughput_elems: Option<u64>,
+) -> Record {
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let n = sorted.len();
+    let pct = |p: f64| sorted[(((n as f64) * p).ceil() as usize).clamp(1, n) - 1];
+    Record {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        input: input.to_string(),
+        samples: n,
+        iters_per_sample: iters,
+        mean_ns: sorted.iter().sum::<f64>() / n as f64,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        min_ns: sorted[0],
+        max_ns: sorted[n - 1],
+        throughput_elems,
+    }
+}
+
+fn display_label(group: &str, bench: &str, input: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for p in [group, bench, input] {
+        if !p.is_empty() {
+            parts.push(p);
+        }
+    }
+    parts.join("/")
+}
+
+/// Human-scale nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn fmt_count_f(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `results/` under the workspace root: `RSIM_RESULTS_DIR` if set, else
+/// walk up from the current directory to the `[workspace]` Cargo.toml.
+fn default_results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RSIM_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return dir.join("results");
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "testkit-bench-{tag}-{}-{}",
+            std::process::id(),
+            crate::rng::entropy_seed()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn quick_bench(name: &str, dir: &Path) -> Bench {
+        let mut b = Bench::new(name);
+        b.results_dir(dir);
+        b.tuning = Tuning {
+            samples: 5,
+            warmup: Duration::from_micros(200),
+            target_sample: Duration::from_micros(500),
+        };
+        b
+    }
+
+    #[test]
+    fn end_to_end_csv_and_stats() {
+        let dir = temp_dir("csv");
+        let mut b = quick_bench("unit", &dir);
+        let mut g = b.group("math");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("sum", "1k"), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let records = b.finish();
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert!(r.min_ns <= r.p50_ns && r.p50_ns <= r.p99_ns && r.p99_ns <= r.max_ns);
+            assert!(r.mean_ns > 0.0);
+            assert_eq!(r.samples, 5);
+            assert!(r.iters_per_sample >= 1);
+        }
+        let csv = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(csv.starts_with("group,bench,input,"));
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        assert!(csv.contains("math,sum,1k,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_summary_written_and_escaped() {
+        let dir = temp_dir("json");
+        let mut b = quick_bench("jsum", &dir);
+        let json_path = dir.join("BENCH_test.json");
+        b.json_summary_to(&json_path);
+        b.bench_function("quote\"in\"name", |b| b.iter(|| 2 * 2));
+        b.finish();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"harness\": \"jsum\""));
+        assert!(json.contains("quote\\\"in\\\"name"));
+        assert!(json.contains("\"p50_ns\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn throughput_reported() {
+        let dir = temp_dir("tput");
+        let mut b = quick_bench("tput", &dir);
+        let mut g = b.group("scan");
+        g.throughput_elems(10_000);
+        g.bench_function("rows", |b| b.iter(|| std::hint::black_box(42)));
+        g.finish();
+        let records = b.finish();
+        let eps = records[0].elems_per_sec().unwrap();
+        assert!(eps > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(500.0), "500ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.20s");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn quick_env_is_respected_in_shape() {
+        // Not set in tests — just assert the default tuning is sane.
+        let t = Tuning::from_env();
+        assert!(t.samples >= 3);
+        assert!(t.target_sample >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,33 @@
+//! # redsim-testkit
+//!
+//! The hermetic correctness and measurement substrate for the whole
+//! workspace. Every module here replaces an external crate the build used
+//! to declare but cannot fetch (this environment is offline, nothing is
+//! vendored), and does so with a deliberately small, fully inspectable
+//! implementation:
+//!
+//! * [`rng`] — seeded PCG32 promoted from `simkit` into a general
+//!   [`rng::RngCore`]/[`rng::Rng`] trait pair with uniform ranges,
+//!   shuffling and string helpers. Replaces `rand`.
+//! * [`prop`] — a property-testing harness with composable generators,
+//!   integrated **shrinking** (lazy rose trees), configurable case
+//!   counts, `RSIM_SEED` replay and a persisted-regression file format
+//!   that also replays the seeds proptest left behind. Replaces
+//!   `proptest`.
+//! * [`bench`] — a measurement harness with warmup, fixed sample counts,
+//!   p50/p99/mean, throughput, aligned text output and CSV/JSON reports
+//!   into `results/`. Replaces `criterion`.
+//! * [`par`] — scoped parallel helpers (`map`, `map_indexed`, chunked
+//!   parallel-for) on `std::thread::scope`. Replaces `crossbeam`.
+//! * [`sync`] — thin `Mutex`/`RwLock` wrappers over `std::sync` with
+//!   poison-recovering, guard-returning APIs. Replaces `parking_lot`.
+//!
+//! Policy: this crate (and, through it, the workspace) has **zero**
+//! crates.io dependencies. `ci.sh` at the repo root enforces that with a
+//! `cargo tree` hermeticity guard.
+
+pub mod bench;
+pub mod par;
+pub mod prop;
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,137 @@
+//! Scoped parallel helpers on `std::thread::scope` — the engine's
+//! per-slice fan-out and the loader's parallel COPY used to go through
+//! `crossbeam::thread::scope`; `std` has had structured scopes since
+//! 1.63, so these helpers are all the workspace needs.
+//!
+//! Panic behavior matches the old code: a panic on any worker thread is
+//! propagated to the caller when the scope joins.
+
+/// Run `f(0..n)` on scoped threads, one per index, preserving order.
+///
+/// `n` is the slice count in practice (single digits), so spawn-per-item
+/// is the right shape; see [`chunked`] for data-parallel loops over many
+/// items.
+pub fn map_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                *slot = Some(f(i));
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Like [`map_indexed`] but consuming owned inputs, preserving order.
+pub fn map<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    let n = inputs.len();
+    if n <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (input, slot) in inputs.into_iter().zip(out.iter_mut()) {
+            let f = &f;
+            s.spawn(move || {
+                *slot = Some(f(input));
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Chunked parallel-for over a mutable slice: splits `data` into at most
+/// `workers` contiguous chunks and runs `f(chunk_index, chunk)` on scoped
+/// threads. Useful for data-parallel transforms where spawn-per-element
+/// would drown the work in scheduling.
+pub fn chunked<T: Send>(data: &mut [T], workers: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (i, part) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, part));
+        }
+    });
+}
+
+/// The parallelism the host offers (≥ 1), for sizing [`chunked`] calls.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let got = map_indexed(17, |i| i * i);
+        assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn map_owned_preserves_order() {
+        let inputs: Vec<String> = (0..9).map(|i| format!("in{i}")).collect();
+        let got = map(inputs, |s| format!("{s}!"));
+        assert_eq!(got[0], "in0!");
+        assert_eq!(got[8], "in8!");
+    }
+
+    #[test]
+    fn map_actually_runs_concurrently_somewhere() {
+        let counter = AtomicUsize::new(0);
+        let got = map((0..8).collect::<Vec<_>>(), |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i * 2
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn chunked_touches_every_element_once() {
+        let mut data: Vec<u64> = vec![1; 1000];
+        chunked(&mut data, 7, |i, part| {
+            for v in part {
+                *v += i as u64 * 0; // keep value, prove mutable access
+                *v *= 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+        let mut empty: Vec<u64> = vec![];
+        chunked(&mut empty, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = map_indexed(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn workers_positive() {
+        assert!(available_workers() >= 1);
+    }
+}

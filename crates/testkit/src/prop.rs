@@ -1,0 +1,1023 @@
+//! Property-based testing with integrated shrinking — the workspace's
+//! `proptest` replacement.
+//!
+//! Design: **lazy rose trees** (hedgehog-style). A generator produces a
+//! [`Tree`]: the sampled value plus a lazily-computed list of smaller
+//! candidate trees. Shrinking walks the tree greedily — descend into the
+//! first child that still fails — so shrunk values always respect the
+//! generator's own constraints (ranges, minimum lengths, character
+//! classes), including through [`Gen::map`].
+//!
+//! Reproducibility:
+//!
+//! * every case runs off its own `u64` seed derived from a base seed;
+//! * the base seed comes from `RSIM_SEED` (or [`Config::seed`], or
+//!   entropy), and every failure report prints the exact case seed;
+//! * failing case seeds are persisted to a regressions file in the
+//!   proptest-compatible `cc <hex> # shrinks to input = …` format, and
+//!   replayed before fresh cases on the next run. Old proptest
+//!   regression files load as-is: the first 16 hex digits of each `cc`
+//!   entry become the replay seed.
+
+use crate::rng::{gen_u64_below, Pcg32, Rng, RngCore};
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Rose trees
+// ---------------------------------------------------------------------
+
+/// A generated value with its lazily-computed shrink candidates.
+pub struct Tree<T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree { value: self.value.clone(), children: Rc::clone(&self.children) }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    pub fn leaf(value: T) -> Self {
+        Tree { value, children: Rc::new(Vec::new) }
+    }
+
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree { value, children: Rc::new(children) }
+    }
+
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Evaluate the shrink candidates (ordered most-aggressive first).
+    pub fn shrinks(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    fn map_rc<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let children = Rc::clone(&self.children);
+        let f2 = Rc::clone(&f);
+        Tree {
+            value,
+            children: Rc::new(move || {
+                children().iter().map(|c| c.map_rc(Rc::clone(&f2))).collect()
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A composable generator of shrinkable values.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Pcg32) -> Tree<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    pub fn new(f: impl Fn(&mut Pcg32) -> Tree<T> + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Sample one shrinkable value.
+    pub fn sample(&self, rng: &mut Pcg32) -> Tree<T> {
+        (self.f)(rng)
+    }
+
+    /// Transform generated values; shrinking flows through the mapping.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::new(move |rng| inner.sample(rng).map_rc(Rc::clone(&f)))
+    }
+
+    /// Always produce `value` (no shrinking).
+    pub fn just(value: T) -> Self {
+        Gen::new(move |_| Tree::leaf(value.clone()))
+    }
+}
+
+// ----- integers ------------------------------------------------------
+
+/// Integer types usable with [`range`] / [`any_int`].
+pub trait PropInt: Copy + PartialOrd + Debug + 'static {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+    const MIN_VAL: Self;
+    const MAX_VAL: Self;
+}
+
+macro_rules! impl_prop_int {
+    ($($t:ty),*) => {$(
+        impl PropInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+            const MIN_VAL: Self = <$t>::MIN;
+            const MAX_VAL: Self = <$t>::MAX;
+        }
+    )*};
+}
+
+impl_prop_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl PropInt for u128 {
+    fn to_i128(self) -> i128 {
+        assert!(self <= i128::MAX as u128, "u128 values above i128::MAX unsupported");
+        self as i128
+    }
+    fn from_i128(v: i128) -> Self {
+        v as u128
+    }
+    const MIN_VAL: Self = 0;
+    // Generator-internal carrier is i128; cap the domain there.
+    const MAX_VAL: Self = i128::MAX as u128;
+}
+
+/// Shrink candidates for `v`, moving toward `origin`: the origin itself,
+/// then binary steps back toward `v`. Greedy descent over this list
+/// converges on the boundary value of a failing predicate.
+fn towards(v: i128, origin: i128) -> Vec<i128> {
+    if v == origin {
+        return Vec::new();
+    }
+    let mut out = vec![origin];
+    let mut d = (v - origin) / 2;
+    while d != 0 {
+        out.push(v - d);
+        d /= 2;
+    }
+    out
+}
+
+fn int_tree(v: i128, origin: i128) -> Tree<i128> {
+    Tree::with_children(v, move || {
+        towards(v, origin).into_iter().map(|c| int_tree(c, origin)).collect()
+    })
+}
+
+fn uniform_i128(rng: &mut Pcg32, lo: i128, hi: i128) -> i128 {
+    let span = (hi - lo) as u128;
+    assert!(span > 0 && span <= u64::MAX as u128, "range span out of supported bounds");
+    lo + gen_u64_below(rng, span as u64) as i128
+}
+
+/// Uniform integer in the half-open range, shrinking toward the most
+/// "boring" in-range value (0 if in range, else the bound nearest 0).
+pub fn range<T: PropInt>(r: std::ops::Range<T>) -> Gen<T> {
+    let (lo, hi) = (r.start.to_i128(), r.end.to_i128());
+    assert!(lo < hi, "prop::range: empty range");
+    let origin = if lo <= 0 && 0 < hi { 0 } else if lo > 0 { lo } else { hi - 1 };
+    Gen::new(move |rng| {
+        let v = uniform_i128(rng, lo, hi);
+        int_tree(v, origin).map_rc(Rc::new(|&v| T::from_i128(v)))
+    })
+}
+
+/// Any value of the integer type, biased toward small and edge values,
+/// shrinking toward 0.
+pub fn any_int<T: PropInt>() -> Gen<T> {
+    Gen::new(move |rng| {
+        let lo = T::MIN_VAL.to_i128();
+        let hi = T::MAX_VAL.to_i128();
+        let v = match rng.gen_range(0u32..10) {
+            0 | 1 => *rng
+                .choose(&[0i128, 1, -1, lo, hi, lo + 1, hi - 1])
+                .expect("nonempty"),
+            2..=5 => uniform_i128(rng, (-1000i128).max(lo), 1001i128.min(hi)),
+            _ => {
+                // Uniform over the full domain, sampled in u64-sized halves.
+                if hi - lo <= u64::MAX as i128 {
+                    uniform_i128(rng, lo, hi)
+                } else {
+                    rng.next_u64() as i64 as i128
+                }
+            }
+        };
+        let v = v.clamp(lo, hi);
+        let origin = if lo <= 0 && 0 <= hi { 0 } else if lo > 0 { lo } else { hi };
+        int_tree(v, origin).map_rc(Rc::new(|&v| T::from_i128(v)))
+    })
+}
+
+/// `any_int::<i64>()`, spelled like the old `any::<i64>()` call sites.
+pub fn any_i64() -> Gen<i64> {
+    any_int::<i64>()
+}
+
+/// Uniform boolean; `true` shrinks to `false`.
+pub fn any_bool() -> Gen<bool> {
+    Gen::new(|rng| {
+        if rng.gen_bool(0.5) {
+            Tree::with_children(true, || vec![Tree::leaf(false)])
+        } else {
+            Tree::leaf(false)
+        }
+    })
+}
+
+// ----- containers ----------------------------------------------------
+
+fn vec_tree<T: Clone + 'static>(elems: Rc<Vec<Tree<T>>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|t| t.value.clone()).collect();
+    Tree::with_children(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        // 1. Remove chunks, largest first (quickcheck-style halving).
+        let mut k = n.saturating_sub(min_len);
+        while k > 0 {
+            let mut start = 0;
+            while start + k <= n {
+                let remaining: Vec<Tree<T>> = elems[..start]
+                    .iter()
+                    .chain(elems[start + k..].iter())
+                    .cloned()
+                    .collect();
+                out.push(vec_tree(Rc::new(remaining), min_len));
+                start += k;
+            }
+            k /= 2;
+        }
+        // 2. Shrink individual elements in place.
+        for i in 0..n {
+            for child in elems[i].shrinks() {
+                let mut replaced: Vec<Tree<T>> = (*elems).clone();
+                replaced[i] = child;
+                out.push(vec_tree(Rc::new(replaced), min_len));
+            }
+        }
+        out
+    })
+}
+
+/// Vector with length uniform in the half-open range; shrinks by chunk
+/// removal (never below `len.start`) and element-wise shrinking.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "prop::vec_of: empty length range");
+    let min_len = len.start;
+    Gen::new(move |rng| {
+        let n = rng.gen_range(len.clone());
+        let trees: Vec<Tree<T>> = (0..n).map(|_| elem.sample(rng)).collect();
+        vec_tree(Rc::new(trees), min_len)
+    })
+}
+
+/// `Option<T>`: mostly `Some`; shrinks `Some(x)` to `None` first, then
+/// through `x`'s own shrinks.
+pub fn option_of<T: Clone + 'static>(inner: Gen<T>) -> Gen<Option<T>> {
+    Gen::new(move |rng| {
+        if rng.gen_bool(0.75) {
+            let t = inner.sample(rng);
+            some_tree(t)
+        } else {
+            Tree::leaf(None)
+        }
+    })
+}
+
+fn some_tree<T: Clone + 'static>(t: Tree<T>) -> Tree<Option<T>> {
+    let value = Some(t.value.clone());
+    Tree::with_children(value, move || {
+        let mut out = vec![Tree::leaf(None)];
+        out.extend(t.shrinks().into_iter().map(some_tree));
+        out
+    })
+}
+
+/// Hash set with size uniform in the half-open range; elements drawn
+/// from `elem` until distinct. Shrinks by removing elements (never below
+/// `size.start`).
+pub fn hash_set_of<T: Clone + Eq + Hash + 'static>(
+    elem: Gen<T>,
+    size: std::ops::Range<usize>,
+) -> Gen<HashSet<T>> {
+    assert!(size.start < size.end, "prop::hash_set_of: empty size range");
+    let min = size.start;
+    Gen::new(move |rng| {
+        let want = rng.gen_range(size.clone());
+        let mut seen: HashSet<T> = HashSet::new();
+        let mut distinct: Vec<T> = Vec::new();
+        let mut attempts = 0usize;
+        while distinct.len() < want && attempts < 100 * (want + 1) {
+            attempts += 1;
+            let v = elem.sample(rng).value().clone();
+            if seen.insert(v.clone()) {
+                distinct.push(v);
+            }
+        }
+        assert!(
+            distinct.len() >= min,
+            "prop::hash_set_of: generator cannot produce {min} distinct values"
+        );
+        let leaves: Vec<Tree<T>> = distinct.into_iter().map(Tree::leaf).collect();
+        vec_tree(Rc::new(leaves), min).map_rc(Rc::new(|v: &Vec<T>| v.iter().cloned().collect()))
+    })
+}
+
+/// Uniformly select one of the items; shrinks toward earlier items.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "prop::select: empty choice list");
+    let items = Rc::new(items);
+    Gen::new(move |rng| {
+        let idx = rng.gen_index(items.len()) as i128;
+        let items = Rc::clone(&items);
+        int_tree(idx, 0).map_rc(Rc::new(move |&i| items[i as usize].clone()))
+    })
+}
+
+// ----- tuples --------------------------------------------------------
+
+fn tuple2_tree<A: Clone + 'static, B: Clone + 'static>(a: Tree<A>, b: Tree<B>) -> Tree<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Tree::with_children(value, move || {
+        let mut out: Vec<Tree<(A, B)>> =
+            a.shrinks().into_iter().map(|ca| tuple2_tree(ca, b.clone())).collect();
+        out.extend(b.shrinks().into_iter().map(|cb| tuple2_tree(a.clone(), cb)));
+        out
+    })
+}
+
+/// Pair of independent generators; shrinks component-wise.
+pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |rng| {
+        let ta = a.sample(rng);
+        let tb = b.sample(rng);
+        tuple2_tree(ta, tb)
+    })
+}
+
+pub fn triple<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    pair(pair(a, b), c).map(|((a, b), c)| (a.clone(), b.clone(), c.clone()))
+}
+
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    pair(pair(a, b), pair(c, d)).map(|((a, b), (c, d))| (a.clone(), b.clone(), c.clone(), d.clone()))
+}
+
+#[allow(clippy::type_complexity)]
+pub fn tuple5<
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    pair(pair(pair(a, b), pair(c, d)), e).map(|(((a, b), (c, d)), e)| {
+        (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
+    })
+}
+
+// ----- strings -------------------------------------------------------
+
+#[derive(Clone)]
+enum CharClass {
+    /// `.` — any char: mostly printable ASCII, sometimes arbitrary
+    /// unicode (how the original fuzz run found the lexer's `"Ŀ"` bug).
+    Any,
+    Set(Rc<Vec<char>>),
+}
+
+struct Atom {
+    class: CharClass,
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+/// Parse the subset of regex the old proptest strategies used:
+/// a sequence of `[chars]{m,n}`, `.{m,n}`, `[chars]`, `.` atoms, where a
+/// char class may contain `a-z`-style ranges.
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                CharClass::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        assert!(a <= b, "prop::pattern: bad range {a}-{b} in {pat:?}");
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "prop::pattern: unterminated [ in {pat:?}");
+                i += 1; // skip ']'
+                assert!(!set.is_empty(), "prop::pattern: empty class in {pat:?}");
+                CharClass::Set(Rc::new(set))
+            }
+            c => {
+                // Bare literal char.
+                i += 1;
+                CharClass::Set(Rc::new(vec![c]))
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("prop::pattern: unterminated {{ in {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("pattern: bad repeat lower bound"),
+                    b.trim().parse().expect("pattern: bad repeat upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("pattern: bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "prop::pattern: bad repetition {{{lo},{hi}}} in {pat:?}");
+        atoms.push(Atom { class, lo, hi });
+    }
+    atoms
+}
+
+fn char_gen(class: CharClass) -> Gen<char> {
+    match class {
+        CharClass::Set(set) => Gen::new(move |rng| {
+            let idx = rng.gen_index(set.len()) as i128;
+            let set = Rc::clone(&set);
+            // Shrink toward the first char of the class.
+            int_tree(idx, 0).map_rc(Rc::new(move |&i| set[i as usize]))
+        }),
+        CharClass::Any => Gen::new(|rng| {
+            let c = if rng.gen_bool(0.85) {
+                rng.gen_range(0x20u32..0x7f) // printable ASCII
+            } else {
+                loop {
+                    let v = rng.gen_range(0u32..0x110000);
+                    if char::from_u32(v).is_some() {
+                        break v;
+                    }
+                }
+            };
+            // Shrink the codepoint toward 'a', skipping invalid scalars.
+            int_tree(c as i128, 'a' as i128).map_rc(Rc::new(|&v| {
+                char::from_u32(v as u32).unwrap_or('a')
+            }))
+        }),
+    }
+}
+
+/// String generator from a proptest-style pattern (see [`parse_pattern`]).
+/// Shrinks by dropping chars (down to each atom's minimum) and
+/// simplifying the chars that remain.
+pub fn pattern(pat: &str) -> Gen<String> {
+    let atoms = parse_pattern(pat);
+    assert!(!atoms.is_empty(), "prop::pattern: empty pattern");
+    let mut gen: Option<Gen<Vec<char>>> = None;
+    for atom in atoms {
+        let piece = vec_of(char_gen(atom.class), atom.lo..atom.hi + 1);
+        gen = Some(match gen {
+            None => piece,
+            Some(prefix) => pair(prefix, piece).map(|(a, b)| {
+                let mut v = a.clone();
+                v.extend(b.iter().copied());
+                v
+            }),
+        });
+    }
+    gen.expect("nonempty").map(|cs| cs.iter().collect())
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Property-run configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Fresh cases to run (after regression replays). Overridden by the
+    /// `RSIM_PROP_CASES` env var.
+    pub cases: u32,
+    /// Cap on property evaluations spent shrinking one failure.
+    pub max_shrink_steps: u32,
+    /// Regressions file to replay from and persist new failures to.
+    pub regressions: Option<PathBuf>,
+    /// Explicit base seed (else `RSIM_SEED`, else entropy).
+    pub seed: Option<u64>,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, max_shrink_steps: 512, ..Config::default() }
+    }
+
+    pub fn regressions_file(mut self, path: impl Into<PathBuf>) -> Config {
+        self.regressions = Some(path.into());
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn effective_cases(&self) -> u32 {
+        std::env::var("RSIM_PROP_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases.max(1))
+    }
+}
+
+/// A minimized counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Case seed: `RSIM_SEED=<seed>` (with the same case count) replays it.
+    pub seed: u64,
+    pub original: T,
+    pub minimal: T,
+    pub message: String,
+    pub shrink_steps: u32,
+}
+
+/// Run the property over `cfg.cases` generated inputs (after replaying
+/// any persisted regression seeds), panicking with a minimized
+/// counterexample and replay instructions on failure.
+pub fn check<T: Clone + Debug + 'static>(
+    name: &str,
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T),
+) {
+    if let Err(f) = check_result(cfg, gen, &prop) {
+        persist_regression(cfg, f.seed, &f.minimal);
+        panic!(
+            "[testkit::prop] property '{name}' failed after {} shrink steps\n  \
+             case seed : cc {:016x}  (replay: RSIM_SEED={} cargo test {name})\n  \
+             minimal   : {:?}\n  \
+             original  : {:?}\n  \
+             error     : {}",
+            f.shrink_steps, f.seed, f.seed, f.minimal, f.original, f.message
+        );
+    }
+}
+
+/// Like [`check`] but returning the failure instead of panicking —
+/// this is also how the harness tests itself.
+pub fn check_result<T: Clone + Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &impl Fn(&T),
+) -> Result<(), Failure<T>> {
+    let base = cfg
+        .seed
+        .unwrap_or_else(|| crate::rng::seed_from_env_or(crate::rng::entropy_seed()));
+    let mut seeds = load_regression_seeds(cfg);
+    let mut s = base;
+    for _ in 0..cfg.effective_cases() {
+        s = splitmix64(s);
+        seeds.push(s);
+    }
+    let _quiet = QuietPanics::engage();
+    for seed in seeds {
+        run_case(cfg, gen, prop, seed)?;
+    }
+    Ok(())
+}
+
+fn run_case<T: Clone + Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &impl Fn(&T),
+    seed: u64,
+) -> Result<(), Failure<T>> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let tree = gen.sample(&mut rng);
+    let Some(msg) = eval_failure(prop, tree.value()) else {
+        return Ok(());
+    };
+    // Greedy shrink: repeatedly descend into the first failing child.
+    let original = tree.value().clone();
+    let mut current = tree;
+    let mut message = msg;
+    let mut evals = 0u32;
+    'outer: loop {
+        for child in current.shrinks() {
+            if evals >= cfg.max_shrink_steps {
+                break 'outer;
+            }
+            evals += 1;
+            if let Some(m) = eval_failure(prop, child.value()) {
+                current = child;
+                message = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Err(Failure { seed, original, minimal: current.value().clone(), message, shrink_steps: evals })
+}
+
+fn eval_failure<T>(prop: &impl Fn(&T), value: &T) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ----- regressions file ----------------------------------------------
+
+/// Parse seeds from a proptest-compatible regressions file: lines of
+/// `cc <hex> …`; the first 16 hex digits become the replay seed (so old
+/// proptest 256-bit seeds load too).
+pub fn parse_regression_seeds(contents: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else { continue };
+        let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        if hex.len() >= 16 {
+            if let Ok(seed) = u64::from_str_radix(&hex[..16], 16) {
+                if !out.contains(&seed) {
+                    out.push(seed);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn load_regression_seeds(cfg: &Config) -> Vec<u64> {
+    let Some(path) = &cfg.regressions else { return Vec::new() };
+    match std::fs::read_to_string(path) {
+        Ok(contents) => parse_regression_seeds(&contents),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn persist_regression<T: Debug>(cfg: &Config, seed: u64, minimal: &T) {
+    if std::env::var("RSIM_PROP_PERSIST").as_deref() == Ok("0") {
+        return;
+    }
+    let Some(path) = &cfg.regressions else { return };
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if parse_regression_seeds(&existing).contains(&seed) {
+        return;
+    }
+    let mut body = existing;
+    if body.is_empty() {
+        body.push_str(
+            "# Seeds for failure cases the testkit property harness found.\n\
+             # Each `cc <hex>` line is replayed before fresh cases are generated.\n\
+             # Check this file in so everyone replays the saved cases.\n",
+        );
+    }
+    let mut debug = format!("{minimal:?}");
+    debug.retain(|c| c != '\n');
+    debug.truncate(160);
+    body.push_str(&format!("cc {seed:016x} # shrinks to input = {debug}\n"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, body);
+}
+
+// ----- panic-hook silencing ------------------------------------------
+
+/// While a property runs, caught panics shouldn't spray backtraces; a
+/// depth-counted global keeps nested/parallel checks correct.
+struct QuietPanics;
+
+static QUIET_DEPTH: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+impl QuietPanics {
+    fn engage() -> QuietPanics {
+        let mut depth = QUIET_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        if *depth == 0 {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let quiet = *QUIET_DEPTH.lock().unwrap_or_else(|e| e.into_inner()) > 0;
+                if !quiet {
+                    prev(info);
+                }
+            }));
+        }
+        *depth += 1;
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let mut depth = QUIET_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        *depth = depth.saturating_sub(1);
+        // The wrapping hook stays installed; it forwards to the previous
+        // hook whenever no check is active, so behavior is unchanged.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cases: u32) -> Config {
+        Config::with_cases(cases).seed(0xC0FFEE)
+    }
+
+    // ----- generator sanity -----
+
+    #[test]
+    fn range_respects_bounds() {
+        let g = range(10i64..20);
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = g.sample(&mut rng);
+            assert!((10..20).contains(t.value()));
+            for c in t.shrinks() {
+                assert!((10..20).contains(c.value()), "shrinks stay in range");
+            }
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let g = vec_of(range(0i64..5), 2..6);
+        let mut rng = Pcg32::seed_from_u64(2);
+        for _ in 0..100 {
+            let t = g.sample(&mut rng);
+            assert!((2..6).contains(&t.value().len()));
+            for c in t.shrinks() {
+                assert!(c.value().len() >= 2, "never shrinks below min length");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_generates_within_class_and_length() {
+        let g = pattern("[a-c0-1]{2,5}");
+        let mut rng = Pcg32::seed_from_u64(3);
+        for _ in 0..200 {
+            let t = g.sample(&mut rng);
+            let s = t.value();
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_dot_reaches_non_ascii() {
+        let g = pattern(".{1,8}");
+        let mut rng = Pcg32::seed_from_u64(4);
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let t = g.sample(&mut rng);
+            if t.value().chars().any(|c| !c.is_ascii()) {
+                saw_non_ascii = true;
+                break;
+            }
+        }
+        assert!(saw_non_ascii, "'.' must occasionally produce unicode soup");
+    }
+
+    #[test]
+    fn pattern_concatenation_and_fixed_counts() {
+        let g = pattern("x[0-9]{3}");
+        let mut rng = Pcg32::seed_from_u64(5);
+        for _ in 0..50 {
+            let t = g.sample(&mut rng);
+            let s = t.value();
+            assert_eq!(s.len(), 4, "{s:?}");
+            assert!(s.starts_with('x'));
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn select_and_tuples() {
+        let g = triple(select(vec!["a", "b", "c"]), any_bool(), range(0u32..4));
+        let mut rng = Pcg32::seed_from_u64(6);
+        for _ in 0..100 {
+            let t = g.sample(&mut rng);
+            let (s, _b, n) = t.value();
+            assert!(["a", "b", "c"].contains(s));
+            assert!(*n < 4);
+        }
+    }
+
+    #[test]
+    fn hash_set_distinct_and_sized() {
+        let g = hash_set_of(pattern("[a-z]{1,6}"), 1..8);
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = g.sample(&mut rng);
+            assert!((1..8).contains(&t.value().len()));
+            for c in t.shrinks() {
+                assert!(!c.value().is_empty());
+            }
+        }
+    }
+
+    // ----- shrinking (acceptance: demonstrated here) -----
+
+    #[test]
+    fn shrinks_int_to_exact_boundary() {
+        // Property "v < 17" fails for v >= 17; the minimal counterexample
+        // is exactly 17, whatever huge value was sampled first.
+        let g = range(0i64..1_000_000);
+        let f = check_result(&cfg(200), &g, &|&v| assert!(v < 17, "too big: {v}"))
+            .expect_err("property must fail");
+        assert_eq!(f.minimal, 17, "greedy rose-tree shrink finds the boundary");
+        assert!(f.original >= 17);
+        assert!(f.message.contains("too big"));
+    }
+
+    #[test]
+    fn shrinks_vec_to_minimal_witness() {
+        // Fails when any element is >= 100: minimal counterexample is the
+        // single-element vector [100].
+        let g = vec_of(range(0i64..1_000), 0..50);
+        let f = check_result(&cfg(300), &g, &|v: &Vec<i64>| {
+            assert!(v.iter().all(|&x| x < 100));
+        })
+        .expect_err("property must fail");
+        assert_eq!(f.minimal, vec![100]);
+    }
+
+    #[test]
+    fn shrinks_through_map() {
+        // Shrinking flows through `map`: the sum property minimizes the
+        // underlying vector, not the opaque mapped value.
+        let g = vec_of(range(1i64..10), 1..40).map(|v| v.iter().sum::<i64>());
+        let f = check_result(&cfg(300), &g, &|&sum: &i64| assert!(sum < 20))
+            .expect_err("property must fail");
+        assert!(
+            (20..29).contains(&f.minimal),
+            "minimal sum {} should sit at the failure boundary",
+            f.minimal
+        );
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let g = pair(range(0i64..100), range(0i64..100));
+        check("commutativity", &cfg(100).regressions_file("/nonexistent/nope"), &g, |(a, b)| {
+            assert_eq!(a + b, b + a);
+        });
+    }
+
+    // ----- seed replay (acceptance: demonstrated here) -----
+
+    #[test]
+    fn seed_replay_reproduces_exact_failure() {
+        let g = vec_of(any_i64(), 0..30);
+        let f1 = check_result(&cfg(100), &g, &|v: &Vec<i64>| {
+            assert!(v.len() < 5, "len {}", v.len());
+        })
+        .expect_err("must fail");
+        // Replaying the reported case seed regenerates the identical
+        // original input in the very first case.
+        let replay_cfg = Config { cases: 0, max_shrink_steps: 512, regressions: None, seed: None };
+        let mut rng = Pcg32::seed_from_u64(f1.seed);
+        let replayed = g.sample(&mut rng);
+        assert_eq!(replayed.value(), &f1.original, "seed replays byte-identical input");
+        let _ = replay_cfg;
+    }
+
+    #[test]
+    fn distinct_base_seeds_give_distinct_streams() {
+        let g = vec_of(any_i64(), 5..6);
+        let mut r1 = Pcg32::seed_from_u64(1);
+        let mut r2 = Pcg32::seed_from_u64(2);
+        assert_ne!(g.sample(&mut r1).value(), g.sample(&mut r2).value());
+    }
+
+    // ----- regressions file -----
+
+    #[test]
+    fn parses_old_proptest_regression_format() {
+        let contents = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+cc 0e376292c0312a961b138450be937b45859250e69b1de8d5f9e804119a819756 # shrinks to input = \"Ŀ\"
+";
+        let seeds = parse_regression_seeds(contents);
+        assert_eq!(seeds, vec![0x0e376292c0312a96]);
+    }
+
+    #[test]
+    fn persist_and_replay_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "testkit-regressions-{}-{}",
+            std::process::id(),
+            crate::rng::entropy_seed()
+        ));
+        let c = Config::with_cases(1).regressions_file(&path).seed(9);
+        persist_regression(&c, 0xDEADBEEF, &"min input");
+        persist_regression(&c, 0xDEADBEEF, &"min input"); // dedup
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.matches("cc 00000000deadbeef").count(), 1);
+        assert!(contents.contains("shrinks to input"));
+        let seeds = load_regression_seeds(&c);
+        assert_eq!(seeds, vec![0xDEADBEEF]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn regression_seeds_replayed_before_fresh_cases() {
+        // A property that only fails on the replayed seed's input:
+        // exercise by persisting a known-failing seed, then re-running
+        // with zero fresh cases.
+        let g = range(0i64..1_000_000);
+        // Find some seed whose first sample is >= 100.
+        let mut seed = 1u64;
+        loop {
+            let mut rng = Pcg32::seed_from_u64(seed);
+            if *g.sample(&mut rng).value() >= 100 {
+                break;
+            }
+            seed += 1;
+        }
+        let path = std::env::temp_dir().join(format!(
+            "testkit-replay-{}-{}",
+            std::process::id(),
+            crate::rng::entropy_seed()
+        ));
+        std::fs::write(&path, format!("cc {seed:016x} # shrinks to input = ?\n")).unwrap();
+        let c = Config { cases: 0, max_shrink_steps: 512, regressions: Some(path.clone()), seed: Some(7) };
+        let f = check_result(&c, &g, &|&v| assert!(v < 100)).expect_err("replayed seed must fail");
+        assert_eq!(f.seed, seed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ----- panic plumbing -----
+
+    #[test]
+    fn non_assert_panics_are_reported_with_message() {
+        let g = range(0i64..10);
+        let f = check_result(&cfg(50), &g, &|&v| {
+            if v >= 3 {
+                panic!("custom explosion at {v}");
+            }
+        })
+        .expect_err("must fail");
+        assert_eq!(f.minimal, 3);
+        assert!(f.message.contains("custom explosion"));
+    }
+}

