@@ -22,6 +22,18 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace-local"
 
+echo "== hermeticity guard: redsim-obs is a leaf (no deps at all) =="
+# The observability substrate must stay pure-std: instrumenting a hot
+# path can never be the reason a build grows a dependency.
+obs_deps=$(cargo tree -p redsim-obs --offline --edges normal --prefix none \
+  | sort -u | grep -v '^redsim-obs ' | grep -v '^\s*$' || true)
+if [ -n "$obs_deps" ]; then
+  echo "error: redsim-obs grew dependencies:" >&2
+  echo "$obs_deps" >&2
+  exit 1
+fi
+echo "ok: redsim-obs has no dependencies"
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -30,5 +42,25 @@ cargo bench --no-run --offline -p redsim-bench
 
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
+
+echo "== trace invariants (quick property pass) =="
+# A smaller random workload than the in-suite default, as a fast
+# standalone gate: spans all close, children nest, stl_query counts.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties trace_invariants
+
+echo "== benchdiff smoke (self-diff must pass, regression must fail) =="
+bd_dir=$(mktemp -d)
+trap 'rm -rf "$bd_dir"' EXIT
+cat > "$bd_dir/base.csv" <<'CSV'
+group,bench,input,samples,iters_per_sample,p50_ns,p99_ns,mean_ns,min_ns,max_ns,elems_per_sec
+scan,rows,1k,5,100,1000.0,1200.0,1050.0,900.0,1300.0,952381
+CSV
+sed 's/1000\.0/1400.0/' "$bd_dir/base.csv" > "$bd_dir/slow.csv"
+cargo run -q --offline -p redsim-bench --bin benchdiff -- "$bd_dir/base.csv" "$bd_dir/base.csv"
+if cargo run -q --offline -p redsim-bench --bin benchdiff -- "$bd_dir/base.csv" "$bd_dir/slow.csv"; then
+  echo "error: benchdiff failed to flag a 40% p50 regression" >&2
+  exit 1
+fi
+echo "ok: benchdiff gates p50 regressions"
 
 echo "== ci green =="

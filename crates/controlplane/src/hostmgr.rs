@@ -8,7 +8,9 @@
 //! example, restarting a database process on failure."
 
 use redsim_common::FxHashMap;
+use redsim_obs::{AttrValue, TraceSink, LVL_PHASE};
 use redsim_simkit::SimTime;
+use std::sync::Arc;
 
 /// Health state of the supervised database process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,10 @@ pub struct HostManager {
     /// Rotated log segments (count; contents are out of scope).
     rotated_logs: u32,
     config: HostManagerConfig,
+    /// Optional telemetry sink: restarts/escalations/errors surface as
+    /// `hostmgr.*` counters and events ("aggregating events and
+    /// metrics", §2.2).
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// Tunables.
@@ -71,7 +77,14 @@ impl HostManager {
             error_counts: FxHashMap::default(),
             rotated_logs: 0,
             config,
+            trace: None,
         }
+    }
+
+    /// Attach a telemetry sink (typically the owning cluster's).
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     pub fn state(&self) -> ProcessState {
@@ -120,6 +133,18 @@ impl HostManager {
                 // Restart counts as a fresh heartbeat grace period.
                 self.last_heartbeat = now;
             }
+            if let Some(t) = &self.trace {
+                let (counter, event) = match self.state {
+                    ProcessState::Escalated => ("hostmgr.escalations", "hostmgr.escalate"),
+                    _ => ("hostmgr.restarts", "hostmgr.restart"),
+                };
+                t.counter(counter).incr();
+                let mut span = t.span(LVL_PHASE, event);
+                if span.is_recording() {
+                    span.attr("at_secs", AttrValue::F64(now.as_secs_f64()));
+                }
+                span.finish();
+            }
             return Some(self.state);
         }
         None
@@ -134,6 +159,9 @@ impl HostManager {
         };
         if total.is_multiple_of(self.config.rotate_after_errors) {
             self.rotated_logs += 1;
+        }
+        if let Some(t) = &self.trace {
+            t.counter("hostmgr.errors").incr();
         }
     }
 
@@ -219,5 +247,23 @@ mod tests {
         assert_eq!(top[0].1, 1_500);
         assert_eq!(top[1].0, "STORAGE");
         assert!(m.rotated_logs() >= 2);
+    }
+
+    #[test]
+    fn telemetry_counters_and_events() {
+        let sink = Arc::new(TraceSink::with_level(LVL_PHASE));
+        let mut m = HostManager::new(HostManagerConfig::default()).with_trace(Arc::clone(&sink));
+        m.heartbeat(SimTime::from_secs(0));
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t += SimTime::from_secs(120);
+            m.tick(t);
+        }
+        m.record_error("EXEC");
+        assert_eq!(sink.counter_value("hostmgr.restarts"), 2);
+        assert_eq!(sink.counter_value("hostmgr.escalations"), 1);
+        assert_eq!(sink.counter_value("hostmgr.errors"), 1);
+        assert_eq!(sink.records_named("hostmgr.escalate").len(), 1);
+        assert_eq!(sink.open_spans(), 0);
     }
 }

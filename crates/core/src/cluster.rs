@@ -5,6 +5,8 @@ use crate::catalog::{Catalog, PlannerCatalog, TableEntry};
 use crate::config::ClusterConfig;
 use crate::encstore::EncryptedBlockStore;
 use crate::loader;
+use crate::systables::{self, SystemTables};
+use redsim_obs::{AttrValue, TraceSink, LVL_CORE, LVL_DETAIL, LVL_PHASE};
 use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_testkit::rng::Pcg32;
 use redsim_common::codec::{Reader, Writer};
@@ -84,6 +86,11 @@ pub struct Cluster {
     usage: UsageStats,
     /// Rows loaded per table since its last ANALYZE (maintenance advisor).
     loads_since_analyze: Mutex<redsim_common::FxHashMap<String, u64>>,
+    /// Per-cluster telemetry sink; `stl_*` / `svl_*` system tables are
+    /// materialized from it (verbosity via `RSIM_TRACE=0|1|2`).
+    trace: Arc<TraceSink>,
+    /// Monotonic query ids for `stl_query` (1-based, SELECTs only).
+    query_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Cluster {
@@ -131,8 +138,14 @@ impl Cluster {
             config.dr_region.clone(),
             config.system_snapshot_retention,
         );
+        let trace = Arc::new(TraceSink::from_env());
+        replicated.set_trace(Arc::clone(&trace));
         Ok(Arc::new(Cluster {
-            plan_cache: PlanCache::with_work(config.plan_cache_size, config.compile_work_per_node),
+            plan_cache: PlanCache::with_policy(
+                config.plan_cache_capacity,
+                config.compile_work_per_node,
+                config.plan_cache_eviction,
+            ),
             topology,
             s3,
             replicated: Some(replicated),
@@ -149,8 +162,16 @@ impl Cluster {
             rng: Mutex::new(rng),
             usage: UsageStats::default(),
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
+            trace,
+            query_seq: std::sync::atomic::AtomicU64::new(0),
             config,
         }))
+    }
+
+    /// The cluster's telemetry sink (spans, counters, gauges; exportable
+    /// as text/JSON). System tables are views over this.
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.trace
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -281,24 +302,57 @@ impl Cluster {
     /// Run a SELECT (or EXPLAIN) and return rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.check_readable()?;
+        let t_parse = std::time::Instant::now();
         let stmt = redsim_sql::parse(sql)?;
+        let parse_ns = t_parse.elapsed().as_nanos() as u64;
         match stmt {
-            Statement::Select(sel) => self.run_select(&sel, false),
+            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns),
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => self.run_select(&sel, true),
+                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns),
                 _ => Err(RsError::Unsupported("EXPLAIN supports SELECT only".into())),
             },
             _ => Err(RsError::Analysis("not a query; use execute()".into())),
         }
     }
 
-    fn run_select(&self, sel: &ast::Select, explain_only: bool) -> Result<QueryResult> {
+    fn run_select(
+        &self,
+        sql: &str,
+        sel: &ast::Select,
+        explain_only: bool,
+        parse_ns: u64,
+    ) -> Result<QueryResult> {
+        // Queries over `stl_*` / `svl_*` virtual tables run leader-local
+        // against the telemetry sink (and are not themselves recorded).
+        let refs = sel.referenced_tables();
+        if refs.iter().any(|t| systables::is_system_table(t)) {
+            if !refs.iter().all(|t| systables::is_system_table(t)) {
+                return Err(RsError::Unsupported(
+                    "joining system tables with user tables is not supported".into(),
+                ));
+            }
+            return self.run_system_select(sel, &refs, explain_only);
+        }
+        // Root span for stl_query: LVL_CORE records even at RSIM_TRACE=0.
+        // EXPLAIN is metadata-only and is not logged (as in the real
+        // STL_QUERY, which records executed queries).
+        let mut qspan = if explain_only {
+            redsim_obs::Span::disabled()
+        } else {
+            self.trace.span(LVL_CORE, "query")
+        };
+        qspan.child_completed(LVL_PHASE, "query.parse", parse_ns, &[]);
         let _snapshot = self.data_lock.read();
         let catalog = self.catalog.read();
         let view = PlannerCatalog { catalog: &catalog, total_slices: self.topology.total_slices() };
-        let bound = Binder::new(&view).bind_select(sel)?;
-        let plan = optimizer::optimize(bound, &view);
-        let plan_text = plan.explain();
+        let (plan, plan_text) = {
+            let pspan = qspan.child(LVL_PHASE, "query.plan");
+            let bound = Binder::new(&view).bind_select(sel)?;
+            let plan = optimizer::optimize(bound, &view);
+            let plan_text = plan.explain();
+            pspan.finish();
+            (plan, plan_text)
+        };
         self.usage.record_feature(if explain_only { "EXPLAIN" } else { "SELECT" });
         self.usage.record_plan_shape(autonomics::plan_shape(&plan_text));
         if explain_only {
@@ -316,18 +370,95 @@ impl Cluster {
             });
         }
         // Leader: compile (cache) then dispatch to slices.
-        let (hits_before, _) = self.plan_cache.stats();
-        let compiled = self.plan_cache.get_or_compile(plan);
-        let cache_hit = self.plan_cache.stats().0 > hits_before;
+        let (cache_hit, compiled, compile_ns) = {
+            let mut cspan = qspan.child(LVL_PHASE, "query.compile");
+            let (hits_before, _) = self.plan_cache.stats();
+            let t0 = std::time::Instant::now();
+            let compiled = self.plan_cache.get_or_compile(plan);
+            let compile_ns = t0.elapsed().as_nanos() as u64;
+            let cache_hit = self.plan_cache.stats().0 > hits_before;
+            self.trace
+                .counter(if cache_hit { "plan_cache.hits" } else { "plan_cache.misses" })
+                .incr();
+            cspan.attr("cache", if cache_hit { "hit" } else { "miss" });
+            cspan.finish();
+            (cache_hit, compiled, compile_ns)
+        };
         let fabric = ComputeFabric { cluster: self, catalog: &catalog };
-        let executor = Executor::new(&fabric);
-        let out = executor.run(&compiled.plan)?;
+        let mut espan = qspan.child(LVL_PHASE, "query.exec");
+        let t_exec = std::time::Instant::now();
+        let out = {
+            let executor = Executor::new(&fabric).with_trace(&espan);
+            executor.run(&compiled.plan)?
+        };
+        let exec_ns = t_exec.elapsed().as_nanos() as u64;
+        if espan.is_recording() {
+            espan.attr("slices", self.topology.total_slices());
+            espan.attr("rows_out", out.rows.len());
+        }
+        espan.finish();
+        if qspan.is_recording() {
+            let qid = self.query_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let m = &out.metrics;
+            qspan.attr("query", qid);
+            qspan.attr("querytxt", sql);
+            qspan.attr("rows", out.rows.len());
+            qspan.attr("compile_cache", if cache_hit { "hit" } else { "miss" });
+            qspan.attr("compile_ns", compile_ns);
+            qspan.attr("exec_ns", exec_ns);
+            qspan.attr("rows_scanned", m.rows_scanned);
+            qspan.attr("blocks_read", m.blocks_read);
+            qspan.attr("bytes_read", m.bytes_read);
+            qspan.attr("bytes_broadcast", m.bytes_broadcast);
+            qspan.attr("bytes_redistributed", m.bytes_redistributed);
+            qspan.attr("groups_total", m.groups_total);
+            qspan.attr("groups_skipped", m.groups_skipped);
+            qspan.attr("plan", plan_text.clone());
+        }
+        qspan.finish();
         Ok(QueryResult {
             columns: out.columns,
             rows: out.rows,
             metrics: out.metrics,
             plan: plan_text,
             cache_hit,
+        })
+    }
+
+    /// Leader-local execution over the virtual system tables: one slice,
+    /// no plan cache, no self-recording in `stl_query`.
+    fn run_system_select(
+        &self,
+        sel: &ast::Select,
+        refs: &[&str],
+        explain_only: bool,
+    ) -> Result<QueryResult> {
+        let sys = SystemTables::capture(&self.trace, refs);
+        let bound = Binder::new(&sys).bind_select(sel)?;
+        let plan = optimizer::optimize(bound, &sys);
+        let plan_text = plan.explain();
+        self.usage.record_feature("SYSTEM TABLE");
+        if explain_only {
+            let columns = vec![OutCol { name: "QUERY PLAN".into(), ty: DataType::Varchar }];
+            let rows = plan_text
+                .lines()
+                .map(|l| Row::new(vec![Value::Str(l.to_string())]))
+                .collect();
+            return Ok(QueryResult {
+                columns,
+                rows,
+                metrics: ExecMetrics::default(),
+                plan: plan_text,
+                cache_hit: false,
+            });
+        }
+        let out = Executor::new(&sys).run(&plan)?;
+        Ok(QueryResult {
+            columns: out.columns,
+            rows: out.rows,
+            metrics: out.metrics,
+            plan: plan_text,
+            cache_hit: false,
         })
     }
 
@@ -521,9 +652,22 @@ impl Cluster {
         if keys.is_empty() {
             return Err(RsError::NotFound(format!("no objects under s3://{prefix}")));
         }
+        let mut span = self.trace.span(LVL_PHASE, "copy");
+        if span.is_recording() {
+            span.attr("table", c.table.clone());
+            span.attr("objects", keys.len());
+        }
         // COMPUPDATE governs automatic compression analysis on first load.
         for s in &entry.slices {
             s.lock().set_auto_compress(c.comp_update);
+        }
+        if c.comp_update {
+            // First flush samples the data and locks per-column encodings.
+            span.event_with(
+                LVL_PHASE,
+                "copy.encoding_sample",
+                &[("table", AttrValue::Str(c.table.clone()))],
+            );
         }
         // Client-side encrypted sources carry a hex key in the statement.
         let source_key = match &c.decrypt_key {
@@ -533,6 +677,10 @@ impl Cluster {
         // Parse objects in parallel (each slice "reading data in
         // parallel"), then route + append.
         let texts: Vec<Result<Vec<ColumnData>>> = parallel_map(keys, |key| {
+            let mut ospan = span.child(LVL_DETAIL, "copy.object");
+            if ospan.is_recording() {
+                ospan.attr("object", key.clone());
+            }
             let raw = self.s3.get(&self.config.region, &key)?;
             // Undo source-side transforms: decrypt, then decompress
             // ("COPY also directly supports ingestion of … data that is
@@ -550,24 +698,41 @@ impl Cluster {
             }
             let text = std::str::from_utf8(&bytes)
                 .map_err(|_| RsError::Analysis(format!("{key}: not UTF-8")))?;
-            match c.format {
+            let parsed = match c.format {
                 ast::CopyFormat::Csv => loader::parse_csv(text, c.delimiter, &entry.schema),
                 ast::CopyFormat::Json => loader::parse_json_lines(text, &entry.schema),
+            };
+            if ospan.is_recording() {
+                if let Ok(cols) = &parsed {
+                    ospan.attr("rows", cols.first().map_or(0, |col| col.len()));
+                }
             }
+            parsed
         });
         let mut loaded = 0u64;
-        for t in texts {
-            let batch = t?;
-            loaded += batch.first().map_or(0, |col| col.len()) as u64;
-            self.append_distributed(&entry, batch, false)?;
+        {
+            let mut aspan = span.child(LVL_PHASE, "copy.append");
+            for t in texts {
+                let batch = t?;
+                loaded += batch.first().map_or(0, |col| col.len()) as u64;
+                self.append_distributed(&entry, batch, false)?;
+            }
+            aspan.attr("rows", loaded);
         }
-        // Flush buffered tails on every slice.
+        // Flush buffered tails on every slice (this is where row groups
+        // are sealed into encoded blocks).
+        let seal_span = span.child(LVL_PHASE, "copy.seal");
         let results: Vec<Result<()>> = parallel_map(
             (0..entry.slices.len()).collect(),
             |slice| {
+                let mut sspan = seal_span.child(LVL_DETAIL, "copy.slice_seal");
+                if sspan.is_recording() {
+                    sspan.attr("slice", slice);
+                }
                 entry.slices[slice].lock().flush(self.store_for_slice(slice).as_ref())
             },
         );
+        seal_span.finish();
         for r in results {
             r?;
         }
@@ -581,8 +746,15 @@ impl Cluster {
         // "By default, compression scheme and optimizer statistics are
         // updated with load").
         if c.stat_update {
+            let aspan = span.child(LVL_PHASE, "copy.analyze");
             self.analyze_entry(&entry)?;
+            aspan.finish();
         }
+        if span.is_recording() {
+            span.attr("rows", loaded);
+        }
+        span.finish();
+        self.trace.counter("copy.rows_loaded").add(loaded);
         Ok(ExecSummary { rows_affected: loaded, message: format!("COPY {loaded}") })
     }
 
@@ -674,12 +846,17 @@ impl Cluster {
             )
         })?;
         let _txn = self.write_txn.lock();
+        let mut span = self.trace.span(LVL_PHASE, "snapshot");
         let catalog = self.catalog.read();
         let mut blocks = Vec::new();
         for t in catalog.tables() {
             for s in &t.slices {
                 blocks.extend(s.lock().block_ids());
             }
+        }
+        if span.is_recording() {
+            span.attr("id", id);
+            span.attr("blocks", blocks.len());
         }
         let mut w = Writer::new();
         // Encryption envelope first, then the catalog.
@@ -718,8 +895,14 @@ impl Cluster {
         hsm: Option<Arc<HsmSim>>,
     ) -> Result<Arc<Cluster>> {
         let topology = ClusterTopology::new(config.nodes, config.slices_per_node)?;
+        let trace = Arc::new(TraceSink::from_env());
+        let mut rspan = trace.span(LVL_PHASE, "restore.open");
         let mgr = BackupManager::new(Arc::clone(&s3), region, bucket, None, 4);
         let (_kind, metadata, blocks) = mgr.load_manifest(region, snapshot_id)?;
+        if rspan.is_recording() {
+            rspan.attr("snapshot", snapshot_id);
+            rspan.attr("blocks", blocks.len());
+        }
         let mut r = Reader::new(&metadata);
         let encrypted = r.get_bool()?;
         let (keyring, master_key, hsm_out) = if encrypted {
@@ -742,12 +925,11 @@ impl Cluster {
             (None, None, None)
         };
         let catalog = Catalog::decode(&mut r, &topology)?;
-        let restoring = Arc::new(StreamingRestoreStore::open(
-            Arc::clone(&s3),
-            region,
-            bucket,
-            blocks,
-        ));
+        let restoring = Arc::new(
+            StreamingRestoreStore::open(Arc::clone(&s3), region, bucket, blocks)
+                .with_trace(Arc::clone(&trace)),
+        );
+        rspan.finish(); // open for SQL: metadata + catalog only (§2.2)
         let shared: Arc<dyn BlockStore> = match &keyring {
             Some(k) => Arc::new(EncryptedBlockStore::new(
                 SharedStore(Arc::clone(&restoring)),
@@ -767,7 +949,11 @@ impl Cluster {
         );
         let rng = Pcg32::seed_from_u64(config.seed);
         Ok(Arc::new(Cluster {
-            plan_cache: PlanCache::with_work(config.plan_cache_size, config.compile_work_per_node),
+            plan_cache: PlanCache::with_policy(
+                config.plan_cache_capacity,
+                config.compile_work_per_node,
+                config.plan_cache_eviction,
+            ),
             topology,
             s3,
             replicated: None,
@@ -784,6 +970,8 @@ impl Cluster {
             rng: Mutex::new(rng),
             usage: UsageStats::default(),
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
+            trace,
+            query_seq: std::sync::atomic::AtomicU64::new(0),
             config,
         }))
     }
@@ -1264,8 +1452,7 @@ mod tests {
         c.execute("ANALYZE").unwrap();
         let r = c.query("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k").unwrap();
         assert_eq!(r.rows[0].get(0).as_i64(), Some(40));
-        assert_eq!(r.metrics.bytes_broadcast, 0);
-        assert_eq!(r.metrics.bytes_redistributed, 0);
+        assert_eq!(r.metrics.exchange_bytes(), 0);
         assert!(r.plan.contains("DS_DIST_NONE"), "{}", r.plan);
     }
 
@@ -1283,11 +1470,7 @@ mod tests {
         c.execute("ANALYZE").unwrap();
         let r = c.query("SELECT COUNT(*) FROM a JOIN b ON a.j = b.k").unwrap();
         assert_eq!(r.rows[0].get(0).as_i64(), Some(360));
-        assert!(
-            r.metrics.bytes_broadcast + r.metrics.bytes_redistributed > 0,
-            "{:?}",
-            r.metrics
-        );
+        assert!(r.metrics.exchange_bytes() > 0, "{:?}", r.metrics);
     }
 
     #[test]
@@ -1547,6 +1730,187 @@ mod tests {
 }
 
 #[cfg(test)]
+mod observability_tests {
+    use super::*;
+
+    fn small() -> Arc<Cluster> {
+        Cluster::launch(ClusterConfig::new("obs").nodes(2).slices_per_node(2)).unwrap()
+    }
+
+    #[test]
+    fn stl_query_distinguishes_cache_hit_from_miss() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        c.query("SELECT COUNT(*) FROM t").unwrap(); // cold: compile
+        c.query("SELECT COUNT(*) FROM t").unwrap(); // warm: cache hit
+        let r = c
+            .query("SELECT query, querytxt, compile_cache, rows FROM stl_query ORDER BY query")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2, "two executed queries logged");
+        assert_eq!(r.rows[0].get(2).as_str(), Some("miss"));
+        assert_eq!(r.rows[1].get(2).as_str(), Some("hit"));
+        assert_eq!(r.rows[0].get(1).as_str(), Some("SELECT COUNT(*) FROM t"));
+        assert_eq!(r.rows[0].get(3).as_i64(), Some(1));
+        // Counters agree with the system table.
+        assert_eq!(c.trace().counter_value("plan_cache.hits"), 1);
+        assert_eq!(c.trace().counter_value("plan_cache.misses"), 1);
+        // System-table queries are not themselves recorded.
+        let again = c.query("SELECT COUNT(*) FROM stl_query").unwrap();
+        assert_eq!(again.rows[0].get(0).as_i64(), Some(2));
+    }
+
+    #[test]
+    fn stl_explain_and_svl_query_metrics() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT, b BIGINT)").unwrap();
+        for i in 0..40 {
+            c.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 2)).unwrap();
+        }
+        c.query("SELECT SUM(b) FROM t WHERE a > 4").unwrap();
+        let ex = c
+            .query("SELECT query, step, plannode FROM stl_explain WHERE query = 1 ORDER BY step")
+            .unwrap();
+        assert!(ex.rows.len() >= 2, "plan has multiple nodes: {:?}", ex.rows);
+        let joined: String =
+            ex.rows.iter().map(|r| r.get(2).to_string()).collect::<Vec<_>>().join("\n");
+        assert!(joined.contains("Seq Scan"), "{joined}");
+        let m = c
+            .query("SELECT rows_scanned, blocks_read FROM svl_query_metrics WHERE query = 1")
+            .unwrap();
+        assert_eq!(m.rows.len(), 1);
+        // Post-pruning scan count: positive, bounded by the table size.
+        let scanned = m.rows[0].get(0).as_i64().unwrap();
+        assert!((1..=40).contains(&scanned), "{scanned}");
+    }
+
+    #[test]
+    fn system_tables_join_and_aggregate() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        for _ in 0..3 {
+            c.query("SELECT a FROM t").unwrap();
+        }
+        // System tables join with each other (leader-local).
+        let r = c
+            .query(
+                "SELECT q.query, m.rows_scanned FROM stl_query q \
+                 JOIN svl_query_metrics m ON q.query = m.query ORDER BY q.query",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // But not with user tables.
+        let err = c.query("SELECT * FROM stl_query q JOIN t ON q.query = t.a");
+        assert!(err.is_err(), "mixed system/user join must be rejected");
+    }
+
+    #[test]
+    fn query_spans_all_close_and_nest() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (7)").unwrap();
+        c.query("SELECT a FROM t").unwrap();
+        let sink = c.trace();
+        assert_eq!(sink.open_spans(), 0, "no dangling spans");
+        let roots = sink.records_named("query");
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        // Phase children parent to the root and fit inside it.
+        for name in ["query.plan", "query.compile", "query.exec"] {
+            let phases = sink.records_named(name);
+            assert_eq!(phases.len(), 1, "{name}");
+            assert_eq!(phases[0].parent, root.id, "{name} parents to query");
+            assert!(phases[0].dur_ns <= root.dur_ns, "{name} fits in parent");
+        }
+    }
+
+    #[test]
+    fn copy_spans_record_ingest_phases() {
+        let c = small();
+        c.execute("CREATE TABLE logs (id BIGINT, msg VARCHAR)").unwrap();
+        let mut csv = String::new();
+        for i in 0..100 {
+            csv.push_str(&format!("{i},m{i}\n"));
+        }
+        c.put_s3_object("in/part-0", csv.into_bytes());
+        c.execute("COPY logs FROM 's3://in/'").unwrap();
+        let sink = c.trace();
+        let copies = sink.records_named("copy");
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].attr_u64("rows"), Some(100));
+        assert_eq!(copies[0].attr_u64("objects"), Some(1));
+        assert!(!sink.records_named("copy.append").is_empty());
+        assert!(!sink.records_named("copy.seal").is_empty());
+        assert!(!sink.records_named("copy.encoding_sample").is_empty());
+        assert_eq!(sink.counter_value("copy.rows_loaded"), 100);
+        assert_eq!(sink.open_spans(), 0);
+    }
+
+    #[test]
+    fn restore_trace_records_page_faults_and_hydration() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        for i in 0..200 {
+            c.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        c.create_snapshot("obs-snap", SnapshotKind::User).unwrap();
+        let restored = Cluster::restore_from_snapshot(
+            ClusterConfig::new("obs2").nodes(2).slices_per_node(2),
+            Arc::clone(c.s3()),
+            "us-east-1",
+            "obs",
+            "obs-snap",
+            None,
+        )
+        .unwrap();
+        let sink = Arc::clone(restored.trace());
+        assert!(!sink.records_named("restore.open").is_empty());
+        // Query before hydration: demand reads must page-fault.
+        restored.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(
+            sink.counter_value("restore.page_faults") > 0,
+            "streaming restore serves early queries by faulting blocks"
+        );
+        assert!(!sink.records_named("restore.page_fault").is_empty());
+        // Background hydration records steps and a blocks counter.
+        while restored.hydrate_step(16).unwrap() > 0 {}
+        assert!(!sink.records_named("restore.hydrate_step").is_empty());
+        let faulted = sink.counter_value("restore.page_faults");
+        let hydrated = sink.counter_value("restore.blocks_hydrated");
+        assert!(faulted + hydrated > 0);
+        assert_eq!(sink.open_spans(), 0);
+        // The source cluster's mirror telemetry saw the backup drain.
+        assert!(c.trace().counter_value("mirror.blocks_backed_up") > 0);
+        assert_eq!(c.trace().gauge_value("mirror.backup_backlog"), 0);
+    }
+
+    #[test]
+    fn explain_and_interpreted_queries_not_logged() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.query("EXPLAIN SELECT a FROM t").unwrap();
+        c.query_interpreted("SELECT a FROM t").unwrap();
+        let r = c.query("SELECT COUNT(*) FROM stl_query").unwrap();
+        assert_eq!(r.rows[0].get(0).as_i64(), Some(0));
+    }
+
+    #[test]
+    fn trace_exports_render() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.query("SELECT a FROM t").unwrap();
+        let text = c.trace().export_text();
+        assert!(text.contains("query"), "{text}");
+        let json = c.trace().export_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"name\": \"query\""), "{json}");
+    }
+}
+
+#[cfg(test)]
 mod autonomics_tests {
     use super::*;
     use crate::autonomics::{MaintenanceAction, MaintenancePolicy};
@@ -1655,11 +2019,7 @@ mod redistribution_tests {
             .query("SELECT COUNT(*) FROM fact f JOIN dim d ON f.d = d.id")
             .unwrap();
         assert_eq!(before.rows[0].get(0).as_i64(), Some(400));
-        assert!(
-            before.metrics.bytes_broadcast + before.metrics.bytes_redistributed > 0,
-            "{:?}",
-            before.metrics
-        );
+        assert!(before.metrics.exchange_bytes() > 0, "{:?}", before.metrics);
         // Maintenance converts the small dimension to ALL.
         let actions = c.maintenance_tick(&MaintenancePolicy::default()).unwrap();
         assert!(
@@ -1671,7 +2031,7 @@ mod redistribution_tests {
             .unwrap();
         assert_eq!(after.rows[0].get(0).as_i64(), Some(400), "same answer");
         assert_eq!(
-            after.metrics.bytes_broadcast + after.metrics.bytes_redistributed,
+            after.metrics.exchange_bytes(),
             0,
             "join is now DS_DIST_ALL_NONE: {}",
             after.plan

@@ -5,6 +5,8 @@
 //! and distribution model used for individual tables." Everything else
 //! has a default the system owns.
 
+use redsim_engine::EvictionPolicy;
+
 /// Configuration for [`crate::Cluster::launch`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -26,8 +28,11 @@ pub struct ClusterConfig {
     /// Plan-compilation work units per plan node (0 = free compilation,
     /// useful in unit tests; benches use the calibrated default).
     pub compile_work_per_node: u64,
-    /// Compiled-plan cache capacity.
-    pub plan_cache_size: usize,
+    /// Compiled-plan cache capacity (entries).
+    pub plan_cache_capacity: usize,
+    /// Compiled-plan cache eviction policy (LRU by default; FIFO is the
+    /// ablation comparator — see `benches/ablations.rs`).
+    pub plan_cache_eviction: EvictionPolicy,
     /// Retained system snapshots before aging out.
     pub system_snapshot_retention: usize,
     /// Seed for the cluster's internal randomness (keys, nonces).
@@ -46,7 +51,8 @@ impl ClusterConfig {
             region: "us-east-1".into(),
             dr_region: None,
             compile_work_per_node: 0,
-            plan_cache_size: 64,
+            plan_cache_capacity: 64,
+            plan_cache_eviction: EvictionPolicy::Lru,
             system_snapshot_retention: 4,
             seed: 0xC0FFEE,
         }
@@ -89,6 +95,16 @@ impl ClusterConfig {
 
     pub fn compile_work(mut self, units: u64) -> Self {
         self.compile_work_per_node = units;
+        self
+    }
+
+    pub fn plan_cache_capacity(mut self, entries: usize) -> Self {
+        self.plan_cache_capacity = entries;
+        self
+    }
+
+    pub fn plan_cache_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.plan_cache_eviction = policy;
         self
     }
 

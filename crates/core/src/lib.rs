@@ -31,6 +31,7 @@ pub mod config;
 pub mod encstore;
 pub mod json;
 pub mod loader;
+pub mod systables;
 
 pub use autonomics::{MaintenanceAction, MaintenancePolicy, UsageStats};
 pub use cluster::{Cluster, ExecSummary, QueryResult};

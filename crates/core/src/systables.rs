@@ -1,0 +1,254 @@
+//! Leader-side virtual system tables over the cluster's trace sink.
+//!
+//! Real Redshift surfaces operational telemetry as `STL_*` / `SVL_*`
+//! system tables queryable with plain SQL ("Amazon Redshift logs
+//! information about … queries in system tables"). This module does the
+//! same over [`redsim_obs`]: the rows are materialized on demand from the
+//! sink's completed `query` spans, then executed leader-locally through
+//! the normal binder/optimizer/executor (one slice, no plan cache, no
+//! self-recording).
+//!
+//! | table               | real analogue       | source                 |
+//! |---------------------|---------------------|------------------------|
+//! | `stl_query`         | `STL_QUERY`         | `query` span core attrs|
+//! | `stl_explain`       | `STL_EXPLAIN`       | `plan` attr, one row/line |
+//! | `svl_query_metrics` | `SVL_QUERY_METRICS` | `ExecMetrics` attrs    |
+
+use redsim_common::{ColumnData, ColumnDef, DataType, FxHashMap, Result, RsError, Schema, Value};
+use redsim_distribution::DistStyle;
+use redsim_engine::exec::TableProvider;
+use redsim_obs::{SpanRecord, TraceSink};
+use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
+
+/// The virtual tables the leader recognizes.
+pub const SYSTEM_TABLES: [&str; 3] = ["stl_query", "stl_explain", "svl_query_metrics"];
+
+/// Is `name` a leader-side system table?
+pub fn is_system_table(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    SYSTEM_TABLES.contains(&lower.as_str())
+}
+
+fn schema_of(table: &str) -> Schema {
+    let cols = match table {
+        "stl_query" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("querytxt", DataType::Varchar),
+            ColumnDef::new("starttime_us", DataType::Int8),
+            ColumnDef::new("duration_us", DataType::Int8),
+            ColumnDef::new("rows", DataType::Int8),
+            ColumnDef::new("compile_cache", DataType::Varchar),
+        ],
+        "stl_explain" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("step", DataType::Int8),
+            ColumnDef::new("plannode", DataType::Varchar),
+        ],
+        "svl_query_metrics" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("rows_scanned", DataType::Int8),
+            ColumnDef::new("blocks_read", DataType::Int8),
+            ColumnDef::new("bytes_read", DataType::Int8),
+            ColumnDef::new("bytes_broadcast", DataType::Int8),
+            ColumnDef::new("bytes_redistributed", DataType::Int8),
+            ColumnDef::new("groups_total", DataType::Int8),
+            ColumnDef::new("groups_skipped", DataType::Int8),
+            ColumnDef::new("compile_us", DataType::Int8),
+            ColumnDef::new("exec_us", DataType::Int8),
+        ],
+        _ => unreachable!("not a system table: {table}"),
+    };
+    Schema::new(cols).expect("system table schemas are well-formed")
+}
+
+fn u64_attr(r: &SpanRecord, key: &str) -> i64 {
+    r.attr_u64(key).unwrap_or(0) as i64
+}
+
+/// Completed `query` spans, oldest first (by assigned query id).
+fn query_spans(sink: &TraceSink) -> Vec<SpanRecord> {
+    let mut spans = sink.records_named("query");
+    spans.sort_by_key(|r| r.attr_u64("query").unwrap_or(0));
+    spans
+}
+
+fn materialize(sink: &TraceSink, table: &str) -> Vec<ColumnData> {
+    let schema = schema_of(table);
+    let mut cols: Vec<ColumnData> =
+        schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
+    let mut push = |vals: Vec<Value>| {
+        for (c, v) in cols.iter_mut().zip(&vals) {
+            c.push_value(v).expect("system rows match their schema");
+        }
+    };
+    for r in query_spans(sink) {
+        let qid = u64_attr(&r, "query");
+        match table {
+            "stl_query" => push(vec![
+                Value::Int8(qid),
+                Value::Str(r.attr_str("querytxt").unwrap_or("").to_string()),
+                Value::Int8((r.start_ns / 1_000) as i64),
+                Value::Int8((r.dur_ns / 1_000) as i64),
+                Value::Int8(u64_attr(&r, "rows")),
+                Value::Str(r.attr_str("compile_cache").unwrap_or("miss").to_string()),
+            ]),
+            "stl_explain" => {
+                for (step, line) in r.attr_str("plan").unwrap_or("").lines().enumerate() {
+                    push(vec![
+                        Value::Int8(qid),
+                        Value::Int8(step as i64 + 1),
+                        Value::Str(line.to_string()),
+                    ]);
+                }
+            }
+            "svl_query_metrics" => push(vec![
+                Value::Int8(qid),
+                Value::Int8(u64_attr(&r, "rows_scanned")),
+                Value::Int8(u64_attr(&r, "blocks_read")),
+                Value::Int8(u64_attr(&r, "bytes_read")),
+                Value::Int8(u64_attr(&r, "bytes_broadcast")),
+                Value::Int8(u64_attr(&r, "bytes_redistributed")),
+                Value::Int8(u64_attr(&r, "groups_total")),
+                Value::Int8(u64_attr(&r, "groups_skipped")),
+                Value::Int8(u64_attr(&r, "compile_ns") / 1_000),
+                Value::Int8(u64_attr(&r, "exec_ns") / 1_000),
+            ]),
+            _ => unreachable!(),
+        }
+    }
+    cols
+}
+
+/// A point-in-time materialization of the referenced system tables,
+/// usable both as the planner's catalog and as the executor's storage
+/// (single leader slice).
+pub struct SystemTables {
+    tables: FxHashMap<String, (Schema, Vec<ColumnData>)>,
+}
+
+impl SystemTables {
+    /// Snapshot the sink's telemetry for the given table references.
+    /// Unknown names are skipped (binding reports them as missing).
+    pub fn capture(sink: &TraceSink, referenced: &[&str]) -> SystemTables {
+        let mut tables = FxHashMap::default();
+        for name in referenced {
+            let lower = name.to_ascii_lowercase();
+            if is_system_table(&lower) && !tables.contains_key(&lower) {
+                let schema = schema_of(&lower);
+                let cols = materialize(sink, &lower);
+                tables.insert(lower, (schema, cols));
+            }
+        }
+        SystemTables { tables }
+    }
+}
+
+impl redsim_sql::CatalogView for SystemTables {
+    fn table(&self, name: &str) -> Option<redsim_sql::TableMeta> {
+        let lower = name.to_ascii_lowercase();
+        self.tables.get(&lower).map(|(schema, cols)| redsim_sql::TableMeta {
+            name: lower.clone(),
+            schema: schema.clone(),
+            dist_style: DistStyle::Even,
+            sort_key: SortKeySpec::None,
+            rows: cols.first().map_or(0, |c| c.len()) as u64,
+        })
+    }
+
+    fn total_slices(&self) -> u32 {
+        1 // leader-local: never dispatched to compute slices
+    }
+}
+
+impl TableProvider for SystemTables {
+    fn num_slices(&self) -> usize {
+        1
+    }
+
+    fn scan_slice(
+        &self,
+        table: &str,
+        _slice: usize,
+        projection: &[usize],
+        _pred: &ScanPredicate,
+    ) -> Result<ScanOutput> {
+        let (_, cols) = self
+            .tables
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| RsError::NotFound(format!("system table {table:?}")))?;
+        let n = cols.first().map_or(0, |c| c.len());
+        if n == 0 {
+            return Ok(ScanOutput::default());
+        }
+        let batch: Vec<ColumnData> = projection.iter().map(|&i| cols[i].clone()).collect();
+        Ok(ScanOutput {
+            batches: vec![batch],
+            groups_total: 1,
+            groups_skipped: 0,
+            blocks_read: 0, // virtual: no blocks behind these rows
+            bytes_read: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redsim_obs::LVL_CORE;
+    use std::sync::Arc;
+
+    fn sink_with_queries(n: u64) -> Arc<TraceSink> {
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        for i in 1..=n {
+            let mut s = sink.span(LVL_CORE, "query");
+            s.attr("query", i);
+            s.attr("querytxt", format!("SELECT {i}"));
+            s.attr("rows", 3u64);
+            s.attr("compile_cache", if i == 1 { "miss" } else { "hit" });
+            s.attr("plan", "Limit\n  Seq Scan");
+            s.attr("rows_scanned", 10u64 * i);
+            s.finish();
+        }
+        sink
+    }
+
+    #[test]
+    fn system_table_names() {
+        assert!(is_system_table("stl_query"));
+        assert!(is_system_table("STL_EXPLAIN"));
+        assert!(is_system_table("svl_query_metrics"));
+        assert!(!is_system_table("users"));
+    }
+
+    #[test]
+    fn stl_query_materializes_one_row_per_span() {
+        let sink = sink_with_queries(3);
+        let sys = SystemTables::capture(&sink, &["stl_query"]);
+        let out = sys.scan_slice("stl_query", 0, &[0, 5], &ScanPredicate::default()).unwrap();
+        assert_eq!(out.batches.len(), 1);
+        let ids = &out.batches[0][0];
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids.get(0).as_i64(), Some(1));
+        assert_eq!(out.batches[0][1].get(0).as_str(), Some("miss"));
+        assert_eq!(out.batches[0][1].get(2).as_str(), Some("hit"));
+    }
+
+    #[test]
+    fn stl_explain_splits_plan_lines() {
+        let sink = sink_with_queries(1);
+        let sys = SystemTables::capture(&sink, &["stl_explain"]);
+        let out = sys.scan_slice("stl_explain", 0, &[0, 1, 2], &ScanPredicate::default()).unwrap();
+        let steps = &out.batches[0][1];
+        assert_eq!(steps.len(), 2, "two plan lines → two rows");
+        assert_eq!(out.batches[0][2].get(1).as_str(), Some("  Seq Scan"));
+    }
+
+    #[test]
+    fn empty_sink_yields_empty_tables() {
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let sys = SystemTables::capture(&sink, &["svl_query_metrics"]);
+        let out =
+            sys.scan_slice("svl_query_metrics", 0, &[0], &ScanPredicate::default()).unwrap();
+        assert!(out.batches.is_empty());
+    }
+}

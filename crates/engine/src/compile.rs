@@ -66,7 +66,20 @@ pub fn compile(plan: LogicalPlan, work_per_node: u64) -> CompiledQuery {
     CompiledQuery { plan, signature, checksum: acc }
 }
 
-/// LRU cache of compiled queries, keyed by plan signature.
+/// Eviction policy for the compiled-plan cache.
+///
+/// LRU refreshes an entry's position on every hit (recency wins); FIFO
+/// evicts strictly in insertion order (a hit does not protect an
+/// entry). FIFO is cheaper per hit and the ablation bench measures what
+/// that trade costs under eviction pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    #[default]
+    Lru,
+    Fifo,
+}
+
+/// Bounded cache of compiled queries, keyed by plan signature.
 ///
 /// "At the compute nodes, the executable is run with the plan
 /// parameters" — repeated query shapes skip compilation entirely.
@@ -74,6 +87,7 @@ pub struct PlanCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     work_per_node: u64,
+    policy: EvictionPolicy,
 }
 
 struct CacheInner {
@@ -89,6 +103,10 @@ impl PlanCache {
     }
 
     pub fn with_work(capacity: usize, work_per_node: u64) -> Self {
+        Self::with_policy(capacity, work_per_node, EvictionPolicy::Lru)
+    }
+
+    pub fn with_policy(capacity: usize, work_per_node: u64, policy: EvictionPolicy) -> Self {
         PlanCache {
             inner: Mutex::new(CacheInner {
                 entries: Vec::new(),
@@ -98,7 +116,18 @@ impl PlanCache {
             }),
             capacity: capacity.max(1),
             work_per_node,
+            policy,
         }
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Fetch a compiled form, compiling (and caching) on miss.
@@ -109,9 +138,11 @@ impl PlanCache {
             if let Some((_, c)) = inner.entries.iter().find(|(s, _)| *s == signature) {
                 let c = Arc::clone(c);
                 inner.hits += 1;
-                // Refresh LRU position.
-                inner.order.retain(|s| *s != signature);
-                inner.order.push_back(signature);
+                if self.policy == EvictionPolicy::Lru {
+                    // Refresh LRU position; FIFO leaves insertion order.
+                    inner.order.retain(|s| *s != signature);
+                    inner.order.push_back(signature);
+                }
                 return c;
             }
             inner.misses += 1;
@@ -189,6 +220,19 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.get_or_compile(scan("b"));
         assert_eq!(cache.stats().0, 1, "only the refreshed `a` hit");
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let cache = PlanCache::with_policy(2, 1_000, EvictionPolicy::Fifo);
+        cache.get_or_compile(scan("a"));
+        cache.get_or_compile(scan("b"));
+        cache.get_or_compile(scan("a")); // hit, but FIFO does not refresh
+        cache.get_or_compile(scan("c")); // evicts a (oldest insertion)
+        cache.get_or_compile(scan("a")); // must recompile
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1, "only the pre-eviction `a` access hit");
+        assert_eq!(misses, 4);
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub struct ExecMetrics {
 }
 
 impl ExecMetrics {
-    fn absorb(&mut self, other: &ExecMetrics) {
+    /// Fold another metrics bag into this one (field-wise sum). Public
+    /// so callers merging per-slice or per-query metrics don't re-sum
+    /// the fields by hand.
+    pub fn absorb(&mut self, other: &ExecMetrics) {
         self.bytes_broadcast += other.bytes_broadcast;
         self.bytes_redistributed += other.bytes_redistributed;
         self.blocks_read += other.blocks_read;
@@ -62,6 +65,12 @@ impl ExecMetrics {
         self.groups_total += other.groups_total;
         self.groups_skipped += other.groups_skipped;
         self.rows_scanned += other.rows_scanned;
+    }
+
+    /// Total interconnect traffic (broadcast + redistribution) — the
+    /// quantity E11 and the colocation tests actually assert on.
+    pub fn exchange_bytes(&self) -> u64 {
+        self.bytes_broadcast + self.bytes_redistributed
     }
 }
 
@@ -85,11 +94,19 @@ enum DataSet {
 pub struct Executor<'a> {
     provider: &'a dyn TableProvider,
     metrics: Mutex<ExecMetrics>,
+    /// Parent span for per-slice detail spans (`RSIM_TRACE=2`).
+    trace: Option<&'a redsim_obs::Span>,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(provider: &'a dyn TableProvider) -> Self {
-        Executor { provider, metrics: Mutex::new(ExecMetrics::default()) }
+        Executor { provider, metrics: Mutex::new(ExecMetrics::default()), trace: None }
+    }
+
+    /// Attach a parent span; slice-level scan spans become its children.
+    pub fn with_trace(mut self, span: &'a redsim_obs::Span) -> Self {
+        self.trace = Some(span);
+        self
     }
 
     /// Run a plan to completion, materializing rows at the leader.
@@ -187,6 +204,10 @@ impl<'a> Executor<'a> {
         let n = self.provider.num_slices();
         let results: Vec<Result<(Vec<Batch>, ExecMetrics)>> =
             parallel_map(n, |slice| {
+                let mut span = match self.trace {
+                    Some(parent) => parent.child(redsim_obs::LVL_DETAIL, "exec.slice"),
+                    None => redsim_obs::Span::disabled(),
+                };
                 let out = self.provider.scan_slice(table, slice, projection, pruning)?;
                 let mut m = ExecMetrics {
                     blocks_read: out.blocks_read,
@@ -208,6 +229,14 @@ impl<'a> Executor<'a> {
                         }
                         None => batches.push(batch),
                     }
+                }
+                if span.is_recording() {
+                    span.attr("table", table);
+                    span.attr("slice", slice);
+                    span.attr("rows_scanned", m.rows_scanned);
+                    span.attr("blocks_read", m.blocks_read);
+                    span.attr("bytes_read", m.bytes_read);
+                    span.attr("groups_skipped", m.groups_skipped);
                 }
                 Ok((batches, m))
             });

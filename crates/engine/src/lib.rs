@@ -28,5 +28,5 @@ pub mod expr;
 pub mod hashkey;
 pub mod interp;
 
-pub use compile::{CompiledQuery, PlanCache};
+pub use compile::{CompiledQuery, EvictionPolicy, PlanCache};
 pub use exec::{ExecMetrics, Executor, QueryOutput, TableProvider};

@@ -1,0 +1,174 @@
+//! Text and JSON exporters over span snapshots.
+
+use crate::span::{AttrValue, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render records as an indented tree, one trace per block:
+///
+/// ```text
+/// trace 7
+///   query 1.20ms  query=7 rows=3 cache=miss
+///     compile 1.05ms  cache_hit=false
+///     exec 120.4µs  rows_scanned=500
+/// ```
+///
+/// Records whose parent is absent (evicted, or recorded standalone)
+/// print at the root of their trace.
+pub fn to_text(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let ids: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    // Children grouped by (effective) parent, preserving snapshot order.
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for r in records {
+        if r.parent != 0 && ids.contains_key(&r.parent) {
+            children.entry(r.parent).or_default().push(r);
+        } else {
+            roots.push(r);
+        }
+    }
+    let mut last_trace = None;
+    for root in roots {
+        if last_trace != Some(root.trace) {
+            writeln!(out, "trace {}", root.trace).unwrap();
+            last_trace = Some(root.trace);
+        }
+        render_subtree(&mut out, root, &children, 1);
+    }
+    out
+}
+
+fn render_subtree(
+    out: &mut String,
+    rec: &SpanRecord,
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    depth: usize,
+) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(rec.name);
+    out.push(' ');
+    out.push_str(&fmt_dur(rec.dur_ns));
+    for (k, v) in &rec.attrs {
+        write!(out, "  {k}={}", v.render()).unwrap();
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&rec.id) {
+        for kid in kids {
+            render_subtree(out, kid, children, depth + 1);
+        }
+    }
+}
+
+/// Render records as a JSON array of span objects.
+pub fn to_json(records: &[SpanRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        write!(
+            out,
+            "  {{\"id\": {}, \"parent\": {}, \"trace\": {}, \"name\": {}, \
+             \"start_ns\": {}, \"dur_ns\": {}, \"attrs\": {{",
+            r.id,
+            r.parent,
+            r.trace,
+            json_str(r.name),
+            r.start_ns,
+            r.dur_ns,
+        )
+        .unwrap();
+        for (j, (k, v)) in r.attrs.iter().enumerate() {
+            let comma = if j + 1 < r.attrs.len() { ", " } else { "" };
+            write!(out, "{}: {}{comma}", json_str(k), json_attr(v)).unwrap();
+        }
+        writeln!(out, "}}}}{comma}").unwrap();
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => json_str(s),
+        other => other.render(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-scale duration.
+pub fn fmt_dur(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, trace: u64, name: &'static str) -> SpanRecord {
+        SpanRecord { id, parent, trace, name, start_ns: 0, dur_ns: 1_500, attrs: vec![] }
+    }
+
+    #[test]
+    fn text_tree_indents_children() {
+        let mut root = rec(1, 0, 1, "query");
+        root.attrs.push(("rows", AttrValue::I64(3)));
+        let child = rec(2, 1, 1, "compile");
+        let txt = to_text(&[root, child]);
+        assert!(txt.contains("trace 1\n"), "{txt}");
+        assert!(txt.contains("  query 1.50µs  rows=3\n"), "{txt}");
+        assert!(txt.contains("    compile 1.50µs\n"), "{txt}");
+    }
+
+    #[test]
+    fn orphans_promote_to_roots() {
+        let orphan = rec(5, 99, 7, "late");
+        let txt = to_text(&[orphan]);
+        assert!(txt.contains("trace 7"), "{txt}");
+        assert!(txt.contains("  late"), "{txt}");
+    }
+
+    #[test]
+    fn json_escapes_and_types() {
+        let mut r = rec(1, 0, 1, "query");
+        r.attrs.push(("sql", AttrValue::Str("SELECT \"x\"\n".into())));
+        r.attrs.push(("hit", AttrValue::Bool(true)));
+        let j = to_json(&[r]);
+        assert!(j.contains("\"name\": \"query\""), "{j}");
+        assert!(j.contains("\\\"x\\\"\\n"), "{j}");
+        assert!(j.contains("\"hit\": true"), "{j}");
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_dur(500), "500ns");
+        assert_eq!(fmt_dur(2_500_000), "2.50ms");
+    }
+}

@@ -1,0 +1,211 @@
+//! # redsim-obs
+//!
+//! A zero-dependency tracing/metrics substrate for the simulator, built
+//! on the operational premise of the paper (§2.2): the warehouse is a
+//! *service*, and the service is only operable because every cluster
+//! continuously reports structured telemetry — which the operator sees
+//! as fleet metrics and the customer sees as system tables (`STL_*` /
+//! `SVL_*`) queryable with plain SQL.
+//!
+//! The pieces:
+//!
+//! * [`Span`] — an RAII guard with monotonic timing and parent/child
+//!   ids. Dropping (or [`Span::finish`]ing) the guard publishes a
+//!   [`SpanRecord`] into the owning [`TraceSink`].
+//! * [`Counter`] / [`Gauge`] — named atomics in per-sink registries,
+//!   `O(1)` after the first lookup and safe to hammer from slice
+//!   worker threads.
+//! * [`TraceSink`] — the process-wide (in practice: per-cluster)
+//!   collector. Spans land first in fixed-capacity sharded ring
+//!   buffers (one shard per OS thread, assigned round-robin) so the
+//!   hot path takes an uncontended lock; full rings drain into the
+//!   bounded completed-record store.
+//! * [`export`] — text (indented tree) and JSON exporters over
+//!   [`TraceSink::snapshot`]. Snapshots are content-sorted, so a
+//!   deterministic workload (`RSIM_SEED` replay) produces
+//!   byte-identical exports even when slice workers race on span ids.
+//!
+//! ## Verbosity
+//!
+//! The `RSIM_TRACE` environment variable (read once per sink; override
+//! with [`TraceSink::with_level`]) selects how much is recorded:
+//!
+//! * `0` — essential records only ([`LVL_CORE`]): one span per query /
+//!   COPY / restore operation. This is what the system tables are
+//!   built from, so `stl_query` keeps working; overhead is one record
+//!   per statement.
+//! * `1` (default) — adds phase spans ([`LVL_PHASE`]): parse, plan,
+//!   compile, exec, per-object COPY ingest, hydration steps.
+//! * `2` — adds per-slice detail ([`LVL_DETAIL`]): slice scans, slice
+//!   ingest/seal, individual restore page faults.
+//!
+//! Spans above the sink's level cost one branch and no allocation.
+
+pub mod export;
+pub mod sink;
+pub mod span;
+
+pub use export::{to_json, to_text};
+pub use sink::{Counter, Gauge, TraceSink};
+pub use span::{AttrValue, Span, SpanRecord};
+
+/// Essential spans: always recorded (system tables depend on them).
+pub const LVL_CORE: u8 = 0;
+/// Phase spans: parse/plan/compile/exec, per-object COPY, hydration.
+pub const LVL_PHASE: u8 = 1;
+/// Per-slice detail spans and high-frequency events.
+pub const LVL_DETAIL: u8 = 2;
+
+/// The default verbosity when `RSIM_TRACE` is unset.
+pub const DEFAULT_LEVEL: u8 = LVL_PHASE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_hierarchy_and_attrs_recorded() {
+        let sink = Arc::new(TraceSink::with_level(LVL_DETAIL));
+        {
+            let mut root = sink.span(LVL_CORE, "query");
+            root.attr("rows", 3i64);
+            {
+                let mut child = root.child(LVL_PHASE, "compile");
+                child.attr("cache_hit", false);
+            }
+            root.child(LVL_DETAIL, "exec.slice").attr("slice", 0i64);
+        }
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 3);
+        let root = recs.iter().find(|r| r.name == "query").unwrap();
+        let compile = recs.iter().find(|r| r.name == "compile").unwrap();
+        let slice = recs.iter().find(|r| r.name == "exec.slice").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(compile.parent, root.id);
+        assert_eq!(slice.parent, root.id);
+        assert_eq!(compile.trace, root.id);
+        assert!(compile.dur_ns <= root.dur_ns, "child within parent");
+        assert_eq!(root.attr_i64("rows"), Some(3));
+        assert_eq!(compile.attr_bool("cache_hit"), Some(false));
+        assert_eq!(sink.open_spans(), 0);
+    }
+
+    #[test]
+    fn level_gating_skips_detail() {
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        {
+            let root = sink.span(LVL_CORE, "query");
+            let _phase = root.child(LVL_PHASE, "plan");
+            let _detail = root.child(LVL_DETAIL, "exec.slice");
+        }
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 1, "only the core span survives: {recs:?}");
+        assert_eq!(recs[0].name, "query");
+    }
+
+    #[test]
+    fn disabled_children_of_disabled_spans() {
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        {
+            let phase = sink.span(LVL_PHASE, "gone");
+            let _grandchild = phase.child(LVL_CORE, "also_gone");
+        }
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.open_spans(), 0);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let sink = TraceSink::with_level(LVL_CORE);
+        let c = sink.counter("plan_cache.hit");
+        c.incr();
+        c.add(4);
+        assert_eq!(sink.counter_value("plan_cache.hit"), 5);
+        assert_eq!(sink.counter_value("missing"), 0);
+        let g = sink.gauge("mirror.backlog");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(sink.gauge_value("mirror.backlog"), 5);
+        let names: Vec<String> = sink.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["plan_cache.hit"], "registry is deterministic");
+    }
+
+    #[test]
+    fn ring_overflow_drains_not_drops() {
+        let sink = Arc::new(TraceSink::with_level(LVL_DETAIL));
+        for i in 0..5_000u64 {
+            let mut s = sink.span(LVL_CORE, "tick");
+            s.attr("i", i as i64);
+        }
+        assert_eq!(sink.snapshot().len(), 5_000, "overflowing rings spill, not drop");
+    }
+
+    #[test]
+    fn retention_bounds_completed_records() {
+        let sink = Arc::new(TraceSink::with_level(LVL_DETAIL).retain(100));
+        for _ in 0..500 {
+            sink.span(LVL_CORE, "q");
+        }
+        let n = sink.snapshot().len();
+        assert!(n <= 100, "retention cap enforced, got {n}");
+        assert!(sink.records_evicted() >= 400);
+    }
+
+    #[test]
+    fn export_deterministic_for_same_content() {
+        let run = || {
+            let sink = Arc::new(TraceSink::with_level(LVL_DETAIL));
+            let mut root = sink.span(LVL_CORE, "query");
+            root.attr("query", 1i64);
+            for slice in 0..4i64 {
+                root.child(LVL_DETAIL, "exec.slice").attr("slice", slice);
+            }
+            drop(root);
+            // Strip the non-deterministic timings before comparing.
+            let mut txt = String::new();
+            for r in sink.snapshot() {
+                txt.push_str(&format!("{} {} {:?}\n", r.name, r.parent != 0, r.attrs));
+            }
+            txt
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_are_instant_children() {
+        let sink = Arc::new(TraceSink::with_level(LVL_PHASE));
+        {
+            let root = sink.span(LVL_CORE, "copy");
+            root.event(LVL_PHASE, "copy.encoding_sample");
+        }
+        let recs = sink.snapshot();
+        let ev = recs.iter().find(|r| r.name == "copy.encoding_sample").unwrap();
+        assert_eq!(ev.dur_ns, 0);
+        assert_ne!(ev.parent, 0);
+    }
+
+    #[test]
+    fn child_completed_backfills_timing() {
+        let sink = Arc::new(TraceSink::with_level(LVL_PHASE));
+        {
+            let root = sink.span(LVL_CORE, "query");
+            // Let the parent accumulate real elapsed time so the backfilled
+            // duration fits inside its extent un-clipped.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            root.child_completed(LVL_PHASE, "parse", 1234, &[("chars", AttrValue::I64(17))]);
+            // A retroactive duration larger than the parent's extent is
+            // clipped so children always nest inside their parent.
+            root.child_completed(LVL_PHASE, "oversized", u64::MAX, &[]);
+        }
+        let recs = sink.snapshot();
+        let p = recs.iter().find(|r| r.name == "parse").unwrap();
+        assert_eq!(p.dur_ns, 1234);
+        assert_eq!(p.attr_i64("chars"), Some(17));
+        let root = recs.iter().find(|r| r.name == "query").unwrap();
+        let big = recs.iter().find(|r| r.name == "oversized").unwrap();
+        assert!(big.dur_ns <= root.dur_ns, "{} > {}", big.dur_ns, root.dur_ns);
+        assert!(big.start_ns >= root.start_ns);
+        assert!(p.start_ns >= root.start_ns);
+    }
+}

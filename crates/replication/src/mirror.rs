@@ -1,6 +1,7 @@
 //! Synchronous primary/secondary block mirroring with cohort placement.
 
 use crate::s3sim::S3Sim;
+use redsim_obs::{TraceSink, LVL_PHASE};
 use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_common::{FxHashMap, Result, RsError};
 use redsim_distribution::{CohortMap, NodeId};
@@ -28,6 +29,10 @@ pub struct ReplicatedStore {
     /// Read path telemetry.
     secondary_reads: Mutex<u64>,
     s3_reads: Mutex<u64>,
+    /// Optional telemetry sink (the owning cluster's). Mirror lag shows
+    /// up as the `mirror.backup_backlog` gauge; drains and
+    /// re-replication as `mirror.*` spans/counters.
+    trace: RwLock<Option<Arc<TraceSink>>>,
 }
 
 impl ReplicatedStore {
@@ -49,7 +54,25 @@ impl ReplicatedStore {
             backup_queue: Mutex::new(Vec::new()),
             secondary_reads: Mutex::new(0),
             s3_reads: Mutex::new(0),
+            trace: RwLock::new(None),
         }))
+    }
+
+    /// Attach a telemetry sink after construction (the store is always
+    /// behind an `Arc`, so this is interior rather than a builder).
+    pub fn set_trace(&self, sink: Arc<TraceSink>) {
+        *self.trace.write() = Some(sink);
+    }
+
+    fn with_sink(&self, f: impl FnOnce(&Arc<TraceSink>)) {
+        if let Some(t) = self.trace.read().as_ref() {
+            f(t);
+        }
+    }
+
+    fn publish_backlog(&self) {
+        let depth = self.backup_queue.lock().len() as i64;
+        self.with_sink(|t| t.gauge("mirror.backup_backlog").set(depth));
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -94,6 +117,7 @@ impl ReplicatedStore {
         }
         self.placements.write().insert(id.0, Placement { primary: node, secondary });
         self.backup_queue.lock().push(id);
+        self.publish_backlog();
         Ok(())
     }
 
@@ -128,6 +152,11 @@ impl ReplicatedStore {
     /// manager call it explicitly for determinism.)
     pub fn drain_backup_queue(&self) -> Result<usize> {
         let pending: Vec<BlockId> = std::mem::take(&mut *self.backup_queue.lock());
+        let requested = pending.len();
+        let mut span = match self.trace.read().as_ref() {
+            Some(t) => t.span(LVL_PHASE, "mirror.backup_drain"),
+            None => redsim_obs::Span::disabled(),
+        };
         let mut uploaded = 0;
         for id in pending {
             let key = self.s3_key(id);
@@ -144,6 +173,13 @@ impl ReplicatedStore {
                 }
             }
         }
+        if span.is_recording() {
+            span.attr("queued", requested);
+            span.attr("uploaded", uploaded);
+        }
+        span.finish();
+        self.with_sink(|t| t.counter("mirror.blocks_backed_up").add(uploaded as u64));
+        self.publish_backlog();
         Ok(uploaded)
     }
 
@@ -178,6 +214,10 @@ impl ReplicatedStore {
     /// Returns (blocks re-replicated, bytes copied) — the "resource
     /// impact of re-replication" the cohort design bounds.
     pub fn re_replicate(&self, failed: NodeId) -> Result<(usize, u64)> {
+        let mut span = match self.trace.read().as_ref() {
+            Some(t) => t.span(LVL_PHASE, "mirror.re_replicate"),
+            None => redsim_obs::Span::disabled(),
+        };
         let affected: Vec<(u64, Placement)> = self
             .placements
             .read()
@@ -214,6 +254,13 @@ impl ReplicatedStore {
                 .insert(idraw, Placement { primary: survivor, secondary: new_secondary });
             blocks += 1;
         }
+        if span.is_recording() {
+            span.attr("node", failed.0);
+            span.attr("blocks", blocks);
+            span.attr("bytes", bytes);
+        }
+        span.finish();
+        self.with_sink(|t| t.counter("mirror.blocks_re_replicated").add(blocks as u64));
         Ok((blocks, bytes))
     }
 

@@ -9,6 +9,7 @@
 //! in background."
 
 use crate::s3sim::S3Sim;
+use redsim_obs::{AttrValue, TraceSink, LVL_PHASE};
 use redsim_testkit::sync::Mutex;
 use redsim_common::{Result, RsError};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};
@@ -27,6 +28,8 @@ pub struct StreamingRestoreStore {
     pending: Mutex<VecDeque<BlockId>>,
     total_blocks: usize,
     page_faults: Mutex<u64>,
+    /// Optional telemetry sink (the owning cluster's).
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl StreamingRestoreStore {
@@ -47,7 +50,15 @@ impl StreamingRestoreStore {
             pending: Mutex::new(blocks.into()),
             total_blocks,
             page_faults: Mutex::new(0),
+            trace: None,
         }
+    }
+
+    /// Attach a telemetry sink: page faults, hydration steps and S3
+    /// round-trips are recorded as `restore.*` spans/counters on it.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     fn key(&self, id: BlockId) -> String {
@@ -55,6 +66,9 @@ impl StreamingRestoreStore {
     }
 
     fn fetch(&self, id: BlockId) -> Result<Arc<EncodedBlock>> {
+        if let Some(t) = &self.trace {
+            t.counter("restore.s3_gets").incr();
+        }
         let bytes = self.s3.get(&self.region, &self.key(id)).map_err(|_| {
             RsError::Replication(format!("{id} missing from snapshot bucket"))
         })?;
@@ -66,6 +80,10 @@ impl StreamingRestoreStore {
     /// Hydrate up to `k` pending blocks. Returns how many were fetched;
     /// 0 means restore is complete.
     pub fn hydrate_step(&self, k: usize) -> Result<usize> {
+        let mut span = match &self.trace {
+            Some(t) => t.span(LVL_PHASE, "restore.hydrate_step"),
+            None => redsim_obs::Span::disabled(),
+        };
         let mut fetched = 0;
         for _ in 0..k {
             let next = {
@@ -83,6 +101,16 @@ impl StreamingRestoreStore {
                     fetched += 1;
                 }
                 None => break,
+            }
+        }
+        if span.is_recording() {
+            span.attr("requested", k);
+            span.attr("fetched", fetched);
+            span.attr("remaining", self.pending.lock().len());
+        }
+        if fetched > 0 {
+            if let Some(t) = &self.trace {
+                t.counter("restore.blocks_hydrated").add(fetched as u64);
             }
         }
         Ok(fetched)
@@ -130,6 +158,16 @@ impl BlockStore for StreamingRestoreStore {
             return Ok(b);
         }
         *self.page_faults.lock() += 1;
+        if let Some(t) = &self.trace {
+            t.counter("restore.page_faults").incr();
+            let mut span = t.span(LVL_PHASE, "restore.page_fault");
+            if span.is_recording() {
+                span.attr("block", AttrValue::Str(format!("{id}")));
+            }
+            let out = self.fetch(id);
+            span.finish();
+            return out;
+        }
         self.fetch(id)
     }
 
@@ -220,6 +258,24 @@ mod tests {
         let store = StreamingRestoreStore::open(Arc::clone(&s3), "r", "b", ids.clone());
         assert!(store.get(ids[0]).is_err());
         assert!(store.get(ids[1]).is_ok());
+    }
+
+    #[test]
+    fn trace_records_faults_and_hydration() {
+        let sink = Arc::new(TraceSink::with_level(redsim_obs::LVL_DETAIL));
+        let s3 = Arc::new(S3Sim::new());
+        let ids = upload(&s3, 6);
+        let store = StreamingRestoreStore::open(Arc::clone(&s3), "r", "b", ids.clone())
+            .with_trace(Arc::clone(&sink));
+        store.get(ids[0]).unwrap(); // demand fault
+        store.hydrate_all().unwrap();
+        assert_eq!(sink.counter_value("restore.page_faults"), 1);
+        assert_eq!(sink.counter_value("restore.blocks_hydrated"), 5);
+        assert_eq!(sink.counter_value("restore.s3_gets"), 6);
+        let faults = sink.records_named("restore.page_fault");
+        assert_eq!(faults.len(), 1);
+        assert!(!sink.records_named("restore.hydrate_step").is_empty());
+        assert_eq!(sink.open_spans(), 0, "all spans closed");
     }
 
     #[test]

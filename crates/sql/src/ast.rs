@@ -92,6 +92,20 @@ pub struct Select {
     pub limit: Option<u64>,
 }
 
+impl Select {
+    /// Every base-table name this query references (FROM + JOINs, in
+    /// syntactic order, unresolved/pre-binding). The leader uses this
+    /// to route queries over virtual system tables (`stl_*` / `svl_*`)
+    /// away from the distributed executor.
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        self.from
+            .iter()
+            .map(|t| t.name.as_str())
+            .chain(self.joins.iter().map(|j| j.table.name.as_str()))
+            .collect()
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// `*`

@@ -398,6 +398,117 @@ fn display_label(group: &str, bench: &str, input: &str) -> String {
     parts.join("/")
 }
 
+/// Parse a CSV previously written by [`Bench::finish`] back into
+/// [`Record`]s. The header row is required and columns are matched by
+/// position. `throughput_elems` is not stored in the CSV (only the
+/// derived `elems_per_sec`), so it is recovered from `elems_per_sec`
+/// and `mean_ns` when present.
+pub fn parse_csv(text: &str) -> Result<Vec<Record>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| "empty CSV".to_string())?;
+    if !header.starts_with("group,bench,input,") {
+        return Err(format!("unrecognized CSV header: {header}"));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line);
+        if fields.len() < 10 {
+            return Err(format!("line {}: expected >=10 fields, got {}", i + 2, fields.len()));
+        }
+        let num = |j: usize| -> Result<f64, String> {
+            fields[j]
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: field {}: {e}", i + 2, j + 1))
+        };
+        let mean_ns = num(7)?;
+        let throughput_elems = fields
+            .get(10)
+            .filter(|s| !s.is_empty())
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|eps| (eps * mean_ns / 1e9).round() as u64);
+        out.push(Record {
+            group: fields[0].clone(),
+            bench: fields[1].clone(),
+            input: fields[2].clone(),
+            samples: num(3)? as usize,
+            iters_per_sample: num(4)? as u64,
+            p50_ns: num(5)?,
+            p99_ns: num(6)?,
+            mean_ns,
+            min_ns: num(8)?,
+            max_ns: num(9)?,
+            throughput_elems,
+        });
+    }
+    Ok(out)
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// One `(group, bench, input)` pair compared across two runs.
+#[derive(Debug, Clone)]
+pub struct P50Diff {
+    /// `group/bench/input` display key.
+    pub key: String,
+    pub base_p50_ns: f64,
+    pub new_p50_ns: f64,
+    /// Positive = regression (new is slower).
+    pub delta_pct: f64,
+}
+
+/// Join two runs by `(group, bench, input)` and compare `p50_ns`.
+/// Returns `(common, only_in_base, only_in_new)`; `common` is sorted by
+/// descending regression so the worst offenders print first.
+pub fn diff_p50(base: &[Record], new: &[Record]) -> (Vec<P50Diff>, Vec<String>, Vec<String>) {
+    let key = |r: &Record| display_label(&r.group, &r.bench, &r.input);
+    let base_map: std::collections::BTreeMap<String, f64> =
+        base.iter().map(|r| (key(r), r.p50_ns)).collect();
+    let new_map: std::collections::BTreeMap<String, f64> =
+        new.iter().map(|r| (key(r), r.p50_ns)).collect();
+    let mut common = Vec::new();
+    let mut only_base = Vec::new();
+    for (k, &b) in &base_map {
+        match new_map.get(k) {
+            Some(&n) => common.push(P50Diff {
+                key: k.clone(),
+                base_p50_ns: b,
+                new_p50_ns: n,
+                delta_pct: (n - b) / b.max(1e-9) * 100.0,
+            }),
+            None => only_base.push(k.clone()),
+        }
+    }
+    let only_new: Vec<String> =
+        new_map.keys().filter(|k| !base_map.contains_key(*k)).cloned().collect();
+    common.sort_by(|a, b| b.delta_pct.partial_cmp(&a.delta_pct).expect("finite deltas"));
+    (common, only_base, only_new)
+}
+
 /// Human-scale nanoseconds.
 pub fn fmt_ns(ns: f64) -> String {
     if ns < 1e3 {
@@ -556,6 +667,65 @@ mod tests {
         assert_eq!(fmt_ns(3_200_000_000.0), "3.20s");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn csv_round_trip_parses() {
+        let dir = temp_dir("roundtrip");
+        let mut b = quick_bench("rt", &dir);
+        let mut g = b.group("grp,with,commas");
+        g.throughput_elems(1_000);
+        g.bench_with_input(BenchmarkId::new("sum", "1k"), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+        let written = b.finish();
+        let csv = std::fs::read_to_string(dir.join("rt.csv")).unwrap();
+        let parsed = parse_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), written.len());
+        assert_eq!(parsed[0].group, "grp,with,commas");
+        assert_eq!(parsed[0].bench, "sum");
+        assert_eq!(parsed[0].input, "1k");
+        assert!((parsed[0].p50_ns - written[0].p50_ns).abs() < 0.5);
+        // elems_per_sec → throughput_elems round-trips within rounding.
+        let t = parsed[0].throughput_elems.unwrap();
+        assert!((990..=1_010).contains(&t), "{t}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_csv_rejects_garbage() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("nope,nope\n1,2\n").is_err());
+        let bad = "group,bench,input,samples,iters_per_sample,p50_ns,p99_ns,mean_ns,min_ns,max_ns,elems_per_sec\na,b,c,xx,1,1,1,1,1,1,\n";
+        assert!(parse_csv(bad).is_err());
+    }
+
+    #[test]
+    fn diff_p50_flags_regressions_and_membership() {
+        let rec = |bench: &str, p50: f64| Record {
+            group: "g".into(),
+            bench: bench.into(),
+            input: String::new(),
+            samples: 3,
+            iters_per_sample: 1,
+            mean_ns: p50,
+            p50_ns: p50,
+            p99_ns: p50,
+            min_ns: p50,
+            max_ns: p50,
+            throughput_elems: None,
+        };
+        let base = vec![rec("stable", 100.0), rec("slower", 100.0), rec("gone", 10.0)];
+        let new = vec![rec("stable", 101.0), rec("slower", 150.0), rec("fresh", 5.0)];
+        let (common, only_base, only_new) = diff_p50(&base, &new);
+        assert_eq!(common.len(), 2);
+        // Sorted worst-first.
+        assert_eq!(common[0].key, "g/slower");
+        assert!((common[0].delta_pct - 50.0).abs() < 1e-9);
+        assert_eq!(common[1].key, "g/stable");
+        assert_eq!(only_base, vec!["g/gone".to_string()]);
+        assert_eq!(only_new, vec!["g/fresh".to_string()]);
     }
 
     #[test]

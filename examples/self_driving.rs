@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "\njoin before self-maintenance: bytes moved = {}",
-        before.metrics.bytes_broadcast + before.metrics.bytes_redistributed
+        before.metrics.exchange_bytes()
     );
     // Policy: only genuinely small tables become ALL copies.
     let policy = MaintenancePolicy { auto_all_max_rows: Some(1_000), ..Default::default() };
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "join after self-maintenance: bytes moved = {} (device_types is now DISTSTYLE ALL)",
-        after.metrics.bytes_broadcast + after.metrics.bytes_redistributed
+        after.metrics.exchange_bytes()
     );
     assert_eq!(before.rows, after.rows);
 

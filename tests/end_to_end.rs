@@ -48,7 +48,7 @@ fn lifecycle_create_load_query_snapshot_restore_resize() {
         )
         .unwrap();
     assert_eq!(r.rows.len(), 3);
-    assert_eq!(r.metrics.bytes_broadcast + r.metrics.bytes_redistributed, 0);
+    assert_eq!(r.metrics.exchange_bytes(), 0);
     let total: i64 = c
         .query("SELECT COUNT(*) FROM orders")
         .unwrap()

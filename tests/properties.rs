@@ -372,3 +372,90 @@ fn cluster_survives_a_barrage_of_bad_statements() {
         Some(1)
     );
 }
+
+// ---------------------------------------------------------------------
+// Trace invariants: a random query workload leaves the telemetry sink
+// structurally consistent — no span leaks, no child outliving its
+// parent, and `stl_query` accounts for exactly the queries issued.
+// ---------------------------------------------------------------------
+
+/// One step of the random workload: which statement template to run and
+/// a literal to instantiate it with.
+fn arb_workload() -> Gen<Vec<(usize, i64)>> {
+    prop::vec_of(prop::pair(prop::range(0usize..5), prop::range(0i64..1_000)), 1..20)
+}
+
+#[test]
+fn trace_invariants_hold_under_random_workload() {
+    let cfg = Config::with_cases(16);
+    prop::check("trace_invariants", &cfg, &arb_workload(), |steps| {
+        let c = Cluster::launch(
+            ClusterConfig::new("trace-prop").nodes(2).slices_per_node(2),
+        )
+        .unwrap();
+        c.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+        let mut selects = 0u64;
+        for &(kind, lit) in steps {
+            match kind {
+                0 => {
+                    c.query(&format!("SELECT COUNT(*) FROM t WHERE a <> {lit}")).unwrap();
+                    selects += 1;
+                }
+                1 => {
+                    c.query("SELECT SUM(a) FROM t").unwrap();
+                    selects += 1;
+                }
+                2 => {
+                    c.query(&format!("SELECT a, b FROM t WHERE a > {} ORDER BY a", lit % 4))
+                        .unwrap();
+                    selects += 1;
+                }
+                3 => {
+                    c.execute(&format!("INSERT INTO t VALUES ({lit}, 'w')")).unwrap();
+                }
+                _ => {
+                    // EXPLAIN and system-table reads must NOT appear in
+                    // stl_query (matching the real STL semantics).
+                    c.query("EXPLAIN SELECT COUNT(*) FROM t").unwrap();
+                    c.query("SELECT * FROM stl_query").unwrap();
+                }
+            }
+        }
+
+        let sink = c.trace();
+        // 1. Every span opened was closed.
+        assert_eq!(sink.open_spans(), 0, "leaked spans");
+
+        let records = sink.snapshot();
+        let by_id: std::collections::BTreeMap<u64, &redshift_sim::obs::SpanRecord> =
+            records.iter().map(|r| (r.id, r)).collect();
+        for r in &records {
+            if r.parent != 0 {
+                // 2. Parents are present and children nest inside them.
+                let p = by_id
+                    .get(&r.parent)
+                    .unwrap_or_else(|| panic!("span {} ({}) has missing parent", r.id, r.name));
+                assert!(
+                    r.dur_ns <= p.dur_ns,
+                    "child {} ({} ns) outlives parent {} ({} ns)",
+                    r.name,
+                    r.dur_ns,
+                    p.name,
+                    p.dur_ns
+                );
+                assert!(
+                    r.start_ns >= p.start_ns,
+                    "child {} starts before parent {}",
+                    r.name,
+                    p.name
+                );
+            }
+        }
+
+        // 3. stl_query has one row per user SELECT issued — EXPLAIN and
+        // system-table reads excluded.
+        let stl = c.query("SELECT COUNT(*) FROM stl_query").unwrap();
+        assert_eq!(stl.rows[0].get(0).as_i64(), Some(selects as i64));
+    });
+}
