@@ -48,6 +48,13 @@ echo "== trace invariants (quick property pass) =="
 # standalone gate: spans all close, children nest, stl_query counts.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties trace_invariants
 
+echo "== wlm invariants (quick property pass) =="
+# Mixed-workload admission accounting plus topology-change drains
+# (resize, DR failover) at a reduced case count. Failing seeds are
+# pinned in tests/properties.proptest-regressions and replayed first;
+# reproduce any failure with RSIM_SEED=<seed> and the full suite.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties wlm_
+
 echo "== benchdiff smoke (self-diff must pass, regression must fail) =="
 bd_dir=$(mktemp -d)
 trap 'rm -rf "$bd_dir"' EXIT

@@ -247,6 +247,136 @@ fn bench_cohort_rereplication(c: &mut Bench) {
     });
 }
 
+/// WLM queues (§2.1): short interactive queries racing heavy ETL. The
+/// single-queue baseline makes a dashboard `COUNT(*)` wait behind the
+/// joins for a concurrency slot; a 2-queue + SQA config routes the ETL
+/// user group to its own queue and lets sub-cost queries bypass on the
+/// accelerator lane, so short-query p50 collapses. Queue waits are
+/// reported from the cluster's own books (`metrics.queue_wait_ns` and
+/// `stv_wlm_service_class_state.avg_queue_wait_us`), not stopwatch-only.
+fn bench_wlm(c: &mut Bench) {
+    use redsim_core::{WlmConfig, WlmQueueDef};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let make = |tag: &str, wlm: WlmConfig| {
+        let cl = Cluster::launch(
+            ClusterConfig::new(format!("wlm-{tag}"))
+                .nodes(1)
+                .slices_per_node(2)
+                .compile_work(50_000)
+                .wlm(wlm),
+        )
+        .unwrap();
+        cl.execute("CREATE TABLE dash (a BIGINT)").unwrap();
+        cl.execute("INSERT INTO dash VALUES (1), (2), (3)").unwrap();
+        cl.execute("CREATE TABLE big (k BIGINT, v BIGINT) DISTKEY(k)").unwrap();
+        let mut csv = String::new();
+        for i in 0..4_000 {
+            csv.push_str(&format!("{},{}\n", i % 50, i));
+        }
+        cl.put_s3_object("b/1", csv.into_bytes());
+        cl.execute("COPY big FROM 's3://b/'").unwrap();
+        cl
+    };
+    // Baseline: one service class, 2 slots, no SQA — everything queues
+    // together, like an unconfigured warehouse.
+    let one_q = make("1q", WlmConfig::with_queues(vec![WlmQueueDef::new("default", 2)]));
+    // Contender: ETL isolated by user group, shorts bypass via SQA.
+    let two_q = make(
+        "2q-sqa",
+        WlmConfig::with_queues(vec![
+            WlmQueueDef::new("etl", 2).user_group("etl_users"),
+            WlmQueueDef::new("short", 2).max_cost(500),
+        ])
+        .sqa(500, 2),
+    );
+
+    // Runs `body` while three ETL threads oversubscribe the two ETL
+    // slots with heavy uncacheable joins (one ETL query is always
+    // waiting, so the slots never go idle), then reports short-query
+    // stats from the cluster's own accounting.
+    let under_load = |cl: &Arc<Cluster>, body: &mut dyn FnMut(&Arc<Cluster>)| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let seq = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cl = Arc::clone(cl);
+                let stop = Arc::clone(&stop);
+                let seq = Arc::clone(&seq);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Unique literal defeats the plan cache: every ETL
+                        // query pays compile + a 4k x 4k keyed join.
+                        let i = seq.fetch_add(1, Ordering::Relaxed);
+                        let _ = cl.query_as(
+                            &format!(
+                                "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
+                                 WHERE a.v <> {i} GROUP BY a.k ORDER BY n DESC LIMIT 3"
+                            ),
+                            Some("etl_users"),
+                        );
+                    }
+                })
+            })
+            .collect();
+        // Let the ETL threads actually occupy slots before measuring.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        body(cl);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    };
+
+    let mut g = c.group("wlm");
+    g.sample_size(5);
+    for (id, cl) in [("short_under_load_1q", &one_q), ("short_under_load_2q_sqa", &two_q)] {
+        under_load(cl, &mut |cl| {
+            cl.query("SELECT COUNT(*) FROM dash").unwrap(); // warm plan cache
+            g.bench_function(id, |b| {
+                b.iter(|| {
+                    // Dashboard queries arrive spaced out, not back to
+                    // back: the gap lets the queued ETL query reclaim
+                    // the freed slot, so each short pays the admission
+                    // wait its config actually implies. The 2ms floor
+                    // is identical across both configs.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    cl.query("SELECT COUNT(*) FROM dash").unwrap();
+                });
+            });
+        });
+    }
+    g.finish();
+
+    // Report queue waits from the cluster's own accounting.
+    println!("\nAblation — WLM short-query latency under ETL load (1 queue vs 2 queues + SQA):");
+    for (name, cl) in [("1q", &one_q), ("2q+sqa", &two_q)] {
+        let mut waits = Vec::new();
+        under_load(cl, &mut |cl| {
+            for _ in 0..40 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let r = cl.query("SELECT COUNT(*) FROM dash").unwrap();
+                waits.push(r.metrics.queue_wait_ns);
+            }
+        });
+        waits.sort_unstable();
+        let p50 = waits[waits.len() / 2];
+        let p99 = waits[waits.len() * 99 / 100];
+        println!("  {name:<7} short-query queue wait: p50={p50}ns p99={p99}ns");
+        for sc in cl.wlm().service_class_states() {
+            println!(
+                "    class {:<8} slots={} executed={} avg_queue_wait={}us",
+                sc.name, sc.slots, sc.executed, sc.avg_queue_wait_us
+            );
+        }
+        println!(
+            "    wlm.admitted={} wlm.sqa_admits={} wlm.queued_admits={}",
+            cl.trace().counter_value("wlm.admitted"),
+            cl.trace().counter_value("wlm.sqa_admits"),
+            cl.trace().counter_value("wlm.queued_admits"),
+        );
+    }
+}
+
 fn main() {
     let mut b = Bench::new("ablations");
     bench_plan_cache(&mut b);
@@ -254,5 +384,6 @@ fn main() {
     bench_block_size(&mut b);
     bench_compression_toggle(&mut b);
     bench_cohort_rereplication(&mut b);
+    bench_wlm(&mut b);
     b.finish();
 }

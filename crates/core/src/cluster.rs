@@ -6,6 +6,7 @@ use crate::config::ClusterConfig;
 use crate::encstore::EncryptedBlockStore;
 use crate::loader;
 use crate::systables::{self, SystemTables};
+use crate::wlm::WlmController;
 use redsim_obs::{AttrValue, TraceSink, LVL_CORE, LVL_DETAIL, LVL_PHASE};
 use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_testkit::rng::Pcg32;
@@ -91,6 +92,9 @@ pub struct Cluster {
     trace: Arc<TraceSink>,
     /// Monotonic query ids for `stl_query` (1-based, SELECTs only).
     query_seq: std::sync::atomic::AtomicU64,
+    /// Leader-side WLM admission controller (§2.1): every SELECT holds a
+    /// service-class concurrency slot for its whole execution.
+    wlm: Arc<WlmController>,
 }
 
 impl Cluster {
@@ -140,6 +144,7 @@ impl Cluster {
         );
         let trace = Arc::new(TraceSink::from_env());
         replicated.set_trace(Arc::clone(&trace));
+        let wlm = Arc::new(WlmController::new(&config.wlm, Arc::clone(&trace)));
         Ok(Arc::new(Cluster {
             plan_cache: PlanCache::with_policy(
                 config.plan_cache_capacity,
@@ -164,6 +169,7 @@ impl Cluster {
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
             trace,
             query_seq: std::sync::atomic::AtomicU64::new(0),
+            wlm,
             config,
         }))
     }
@@ -301,18 +307,41 @@ impl Cluster {
 
     /// Run a SELECT (or EXPLAIN) and return rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_as(sql, None)
+    }
+
+    /// Run a SELECT as a member of `user_group` — WLM routes the query
+    /// to the first service class whose rules match (see
+    /// [`crate::wlm::WlmConfig`]).
+    pub fn query_as(&self, sql: &str, user_group: Option<&str>) -> Result<QueryResult> {
         self.check_readable()?;
         let t_parse = std::time::Instant::now();
         let stmt = redsim_sql::parse(sql)?;
         let parse_ns = t_parse.elapsed().as_nanos() as u64;
         match stmt {
-            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns),
+            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns, user_group),
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns),
+                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns, user_group),
                 _ => Err(RsError::Unsupported("EXPLAIN supports SELECT only".into())),
             },
             _ => Err(RsError::Analysis("not a query; use execute()".into())),
         }
+    }
+
+    /// The WLM admission controller (drain control, live queue state).
+    pub fn wlm(&self) -> &Arc<WlmController> {
+        &self.wlm
+    }
+
+    /// Estimated cost for WLM routing: total logical rows across the
+    /// referenced tables, scaled by the table count (joins are
+    /// superlinear). Deliberately cheap — a short catalog read before
+    /// admission, no planning.
+    fn estimate_cost(&self, refs: &[&str]) -> u64 {
+        let catalog = self.catalog.read();
+        let total: u64 =
+            refs.iter().filter_map(|t| catalog.get(t)).map(|e| e.logical_rows()).sum();
+        total.saturating_mul(refs.len().max(1) as u64)
     }
 
     fn run_select(
@@ -321,6 +350,7 @@ impl Cluster {
         sel: &ast::Select,
         explain_only: bool,
         parse_ns: u64,
+        user_group: Option<&str>,
     ) -> Result<QueryResult> {
         // Queries over `stl_*` / `svl_*` virtual tables run leader-local
         // against the telemetry sink (and are not themselves recorded).
@@ -333,6 +363,18 @@ impl Cluster {
             }
             return self.run_system_select(sel, &refs, explain_only);
         }
+        // WLM admission (§2.1): hold a service-class concurrency slot
+        // before taking any data lock, so a queued query starves neither
+        // writers nor the queries already running. EXPLAIN is
+        // metadata-only and bypasses admission; system-table reads above
+        // bypass it too, so queue state stays observable when every slot
+        // is busy.
+        let wlm_guard = if explain_only {
+            None
+        } else {
+            Some(self.wlm.admit(self.estimate_cost(&refs), user_group)?)
+        };
+        let queue_wait_ns = wlm_guard.as_ref().map_or(0, |g| g.queue_wait_ns());
         // Root span for stl_query: LVL_CORE records even at RSIM_TRACE=0.
         // EXPLAIN is metadata-only and is not logged (as in the real
         // STL_QUERY, which records executed queries).
@@ -342,6 +384,9 @@ impl Cluster {
             self.trace.span(LVL_CORE, "query")
         };
         qspan.child_completed(LVL_PHASE, "query.parse", parse_ns, &[]);
+        if queue_wait_ns > 0 {
+            qspan.child_completed(LVL_PHASE, "wlm.wait", queue_wait_ns, &[]);
+        }
         let _snapshot = self.data_lock.read();
         let catalog = self.catalog.read();
         let view = PlannerCatalog { catalog: &catalog, total_slices: self.topology.total_slices() };
@@ -387,11 +432,12 @@ impl Cluster {
         let fabric = ComputeFabric { cluster: self, catalog: &catalog };
         let mut espan = qspan.child(LVL_PHASE, "query.exec");
         let t_exec = std::time::Instant::now();
-        let out = {
+        let mut out = {
             let executor = Executor::new(&fabric).with_trace(&espan);
             executor.run(&compiled.plan)?
         };
         let exec_ns = t_exec.elapsed().as_nanos() as u64;
+        out.metrics.queue_wait_ns = queue_wait_ns;
         if espan.is_recording() {
             espan.attr("slices", self.topology.total_slices());
             espan.attr("rows_out", out.rows.len());
@@ -413,6 +459,10 @@ impl Cluster {
             qspan.attr("bytes_redistributed", m.bytes_redistributed);
             qspan.attr("groups_total", m.groups_total);
             qspan.attr("groups_skipped", m.groups_skipped);
+            qspan.attr("queue_wait_us", queue_wait_ns / 1_000);
+            if let Some(g) = &wlm_guard {
+                qspan.attr("service_class", g.service_class().to_string());
+            }
             qspan.attr("plan", plan_text.clone());
         }
         qspan.finish();
@@ -433,7 +483,7 @@ impl Cluster {
         refs: &[&str],
         explain_only: bool,
     ) -> Result<QueryResult> {
-        let sys = SystemTables::capture(&self.trace, refs);
+        let sys = SystemTables::capture(&self.trace, Some(&self.wlm), refs);
         let bound = Binder::new(&sys).bind_select(sel)?;
         let plan = optimizer::optimize(bound, &sys);
         let plan_text = plan.explain();
@@ -948,6 +998,7 @@ impl Cluster {
             config.system_snapshot_retention,
         );
         let rng = Pcg32::seed_from_u64(config.seed);
+        let wlm = Arc::new(WlmController::new(&config.wlm, Arc::clone(&trace)));
         Ok(Arc::new(Cluster {
             plan_cache: PlanCache::with_policy(
                 config.plan_cache_capacity,
@@ -972,6 +1023,7 @@ impl Cluster {
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
             trace,
             query_seq: std::sync::atomic::AtomicU64::new(0),
+            wlm,
             config,
         }))
     }
@@ -1006,6 +1058,11 @@ impl Cluster {
     /// completes (then rejects everything).
     pub fn resize(&self, new_nodes: u32, new_slices_per_node: u32) -> Result<Arc<Cluster>> {
         self.check_writable()?;
+        // Drain WLM first: stop admitting, evict queued queries with a
+        // retryable error, and let in-flight queries finish before the
+        // topology changes underneath them.
+        self.wlm.begin_drain();
+        self.wlm.wait_idle(std::time::Duration::from_secs(30));
         {
             let mut st = self.state.write();
             *st = ClusterState::ReadOnly;
@@ -1013,9 +1070,23 @@ impl Cluster {
         let result = self.resize_inner(new_nodes, new_slices_per_node);
         match &result {
             Ok(_) => *self.state.write() = ClusterState::Decommissioned,
-            Err(_) => *self.state.write() = ClusterState::Available, // roll back
+            Err(_) => {
+                // Roll back: the source keeps serving, so WLM must
+                // accept queries again.
+                *self.state.write() = ClusterState::Available;
+                self.wlm.reopen();
+            }
         }
         result
+    }
+
+    /// Graceful shutdown: drain WLM (reject new queries, evict waiters,
+    /// wait for in-flight queries to finish), then decommission. Used by
+    /// DR failover drills before promoting the standby.
+    pub fn shutdown(&self) {
+        self.wlm.begin_drain();
+        self.wlm.wait_idle(std::time::Duration::from_secs(30));
+        *self.state.write() = ClusterState::Decommissioned;
     }
 
     fn resize_inner(&self, new_nodes: u32, new_slices_per_node: u32) -> Result<Arc<Cluster>> {

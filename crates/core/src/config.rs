@@ -5,6 +5,7 @@
 //! and distribution model used for individual tables." Everything else
 //! has a default the system owns.
 
+use crate::wlm::WlmConfig;
 use redsim_engine::EvictionPolicy;
 
 /// Configuration for [`crate::Cluster::launch`].
@@ -37,6 +38,9 @@ pub struct ClusterConfig {
     pub system_snapshot_retention: usize,
     /// Seed for the cluster's internal randomness (keys, nonces).
     pub seed: u64,
+    /// Workload-management queues (§2.1). The default is one permissive
+    /// queue with SQA off, so single-tenant tests never queue.
+    pub wlm: WlmConfig,
 }
 
 impl ClusterConfig {
@@ -55,6 +59,7 @@ impl ClusterConfig {
             plan_cache_eviction: EvictionPolicy::Lru,
             system_snapshot_retention: 4,
             seed: 0xC0FFEE,
+            wlm: WlmConfig::default(),
         }
     }
 
@@ -110,6 +115,12 @@ impl ClusterConfig {
 
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Install a workload-management configuration (queues + SQA).
+    pub fn wlm(mut self, cfg: WlmConfig) -> Self {
+        self.wlm = cfg;
         self
     }
 

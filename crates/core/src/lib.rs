@@ -32,7 +32,9 @@ pub mod encstore;
 pub mod json;
 pub mod loader;
 pub mod systables;
+pub mod wlm;
 
 pub use autonomics::{MaintenanceAction, MaintenancePolicy, UsageStats};
 pub use cluster::{Cluster, ExecSummary, QueryResult};
 pub use config::ClusterConfig;
+pub use wlm::{ServiceClassState, WlmConfig, WlmController, WlmQueueDef};

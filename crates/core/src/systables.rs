@@ -13,7 +13,10 @@
 //! | `stl_query`         | `STL_QUERY`         | `query` span core attrs|
 //! | `stl_explain`       | `STL_EXPLAIN`       | `plan` attr, one row/line |
 //! | `svl_query_metrics` | `SVL_QUERY_METRICS` | `ExecMetrics` attrs    |
+//! | `stl_wlm_query`     | `STL_WLM_QUERY`     | `wlm` span core attrs  |
+//! | `stv_wlm_service_class_state` | `STV_WLM_SERVICE_CLASS_STATE` | live [`WlmController`] state |
 
+use crate::wlm::WlmController;
 use redsim_common::{ColumnData, ColumnDef, DataType, FxHashMap, Result, RsError, Schema, Value};
 use redsim_distribution::DistStyle;
 use redsim_engine::exec::TableProvider;
@@ -21,7 +24,13 @@ use redsim_obs::{SpanRecord, TraceSink};
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
 
 /// The virtual tables the leader recognizes.
-pub const SYSTEM_TABLES: [&str; 3] = ["stl_query", "stl_explain", "svl_query_metrics"];
+pub const SYSTEM_TABLES: [&str; 5] = [
+    "stl_query",
+    "stl_explain",
+    "svl_query_metrics",
+    "stl_wlm_query",
+    "stv_wlm_service_class_state",
+];
 
 /// Is `name` a leader-side system table?
 pub fn is_system_table(name: &str) -> bool {
@@ -55,6 +64,25 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("groups_skipped", DataType::Int8),
             ColumnDef::new("compile_us", DataType::Int8),
             ColumnDef::new("exec_us", DataType::Int8),
+            ColumnDef::new("queue_wait_us", DataType::Int8),
+        ],
+        "stl_wlm_query" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("service_class", DataType::Varchar),
+            ColumnDef::new("state", DataType::Varchar),
+            ColumnDef::new("queue_wait_us", DataType::Int8),
+            ColumnDef::new("exec_us", DataType::Int8),
+            ColumnDef::new("sqa", DataType::Bool),
+        ],
+        "stv_wlm_service_class_state" => vec![
+            ColumnDef::new("service_class", DataType::Varchar),
+            ColumnDef::new("slots", DataType::Int8),
+            ColumnDef::new("in_flight", DataType::Int8),
+            ColumnDef::new("queued", DataType::Int8),
+            ColumnDef::new("executed", DataType::Int8),
+            ColumnDef::new("evicted", DataType::Int8),
+            ColumnDef::new("rejected", DataType::Int8),
+            ColumnDef::new("avg_queue_wait_us", DataType::Int8),
         ],
         _ => unreachable!("not a system table: {table}"),
     };
@@ -72,7 +100,7 @@ fn query_spans(sink: &TraceSink) -> Vec<SpanRecord> {
     spans
 }
 
-fn materialize(sink: &TraceSink, table: &str) -> Vec<ColumnData> {
+fn materialize(sink: &TraceSink, wlm: Option<&WlmController>, table: &str) -> Vec<ColumnData> {
     let schema = schema_of(table);
     let mut cols: Vec<ColumnData> =
         schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
@@ -81,6 +109,42 @@ fn materialize(sink: &TraceSink, table: &str) -> Vec<ColumnData> {
             c.push_value(v).expect("system rows match their schema");
         }
     };
+    // WLM tables draw on different sources than the per-query spans: the
+    // admission log (`wlm` spans, one per admission outcome) and the live
+    // controller state respectively.
+    match table {
+        "stl_wlm_query" => {
+            let mut spans = sink.records_named("wlm");
+            spans.sort_by_key(|r| r.attr_u64("query").unwrap_or(0));
+            for r in spans {
+                push(vec![
+                    Value::Int8(u64_attr(&r, "query")),
+                    Value::Str(r.attr_str("service_class").unwrap_or("").to_string()),
+                    Value::Str(r.attr_str("state").unwrap_or("").to_string()),
+                    Value::Int8(u64_attr(&r, "queue_wait_us")),
+                    Value::Int8(u64_attr(&r, "exec_us")),
+                    Value::Bool(r.attr_bool("sqa").unwrap_or(false)),
+                ]);
+            }
+            return cols;
+        }
+        "stv_wlm_service_class_state" => {
+            for sc in wlm.map(|w| w.service_class_states()).unwrap_or_default() {
+                push(vec![
+                    Value::Str(sc.name),
+                    Value::Int8(sc.slots as i64),
+                    Value::Int8(sc.in_flight as i64),
+                    Value::Int8(sc.queued as i64),
+                    Value::Int8(sc.executed as i64),
+                    Value::Int8(sc.evicted as i64),
+                    Value::Int8(sc.rejected as i64),
+                    Value::Int8(sc.avg_queue_wait_us as i64),
+                ]);
+            }
+            return cols;
+        }
+        _ => {}
+    }
     for r in query_spans(sink) {
         let qid = u64_attr(&r, "query");
         match table {
@@ -112,6 +176,7 @@ fn materialize(sink: &TraceSink, table: &str) -> Vec<ColumnData> {
                 Value::Int8(u64_attr(&r, "groups_skipped")),
                 Value::Int8(u64_attr(&r, "compile_ns") / 1_000),
                 Value::Int8(u64_attr(&r, "exec_ns") / 1_000),
+                Value::Int8(u64_attr(&r, "queue_wait_us")),
             ]),
             _ => unreachable!(),
         }
@@ -127,15 +192,20 @@ pub struct SystemTables {
 }
 
 impl SystemTables {
-    /// Snapshot the sink's telemetry for the given table references.
-    /// Unknown names are skipped (binding reports them as missing).
-    pub fn capture(sink: &TraceSink, referenced: &[&str]) -> SystemTables {
+    /// Snapshot the sink's telemetry (and, when present, the live WLM
+    /// controller state) for the given table references. Unknown names
+    /// are skipped (binding reports them as missing).
+    pub fn capture(
+        sink: &TraceSink,
+        wlm: Option<&WlmController>,
+        referenced: &[&str],
+    ) -> SystemTables {
         let mut tables = FxHashMap::default();
         for name in referenced {
             let lower = name.to_ascii_lowercase();
             if is_system_table(&lower) && !tables.contains_key(&lower) {
                 let schema = schema_of(&lower);
-                let cols = materialize(sink, &lower);
+                let cols = materialize(sink, wlm, &lower);
                 tables.insert(lower, (schema, cols));
             }
         }
@@ -217,13 +287,48 @@ mod tests {
         assert!(is_system_table("stl_query"));
         assert!(is_system_table("STL_EXPLAIN"));
         assert!(is_system_table("svl_query_metrics"));
+        assert!(is_system_table("stl_wlm_query"));
+        assert!(is_system_table("STV_WLM_SERVICE_CLASS_STATE"));
         assert!(!is_system_table("users"));
+    }
+
+    #[test]
+    fn wlm_tables_materialize_from_controller_and_spans() {
+        use crate::wlm::{WlmConfig, WlmQueueDef};
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let cfg = WlmConfig::with_queues(vec![WlmQueueDef::new("q1", 2)]).sqa(10, 1);
+        let ctl = Arc::new(WlmController::new(&cfg, Arc::clone(&sink)));
+        let g_short = ctl.admit(5, None).unwrap(); // SQA lane
+        let g_long = ctl.admit(1_000, None).unwrap(); // q1
+        drop(g_short);
+        drop(g_long);
+        let sys = SystemTables::capture(
+            &sink,
+            Some(&ctl),
+            &["stl_wlm_query", "stv_wlm_service_class_state"],
+        );
+        let wq =
+            sys.scan_slice("stl_wlm_query", 0, &[0, 1, 2, 5], &ScanPredicate::default()).unwrap();
+        assert_eq!(wq.batches[0][0].len(), 2, "one row per admission");
+        let classes: Vec<_> =
+            (0..2).filter_map(|i| wq.batches[0][1].get(i).as_str().map(str::to_string)).collect();
+        assert!(classes.contains(&"sqa".to_string()) && classes.contains(&"q1".to_string()));
+        let sc = sys
+            .scan_slice("stv_wlm_service_class_state", 0, &[0, 4], &ScanPredicate::default())
+            .unwrap();
+        assert_eq!(sc.batches[0][0].len(), 2, "q1 + sqa lane rows");
+        // Without a controller the STV table is empty but bindable.
+        let sys2 = SystemTables::capture(&sink, None, &["stv_wlm_service_class_state"]);
+        let empty = sys2
+            .scan_slice("stv_wlm_service_class_state", 0, &[0], &ScanPredicate::default())
+            .unwrap();
+        assert!(empty.batches.is_empty());
     }
 
     #[test]
     fn stl_query_materializes_one_row_per_span() {
         let sink = sink_with_queries(3);
-        let sys = SystemTables::capture(&sink, &["stl_query"]);
+        let sys = SystemTables::capture(&sink, None, &["stl_query"]);
         let out = sys.scan_slice("stl_query", 0, &[0, 5], &ScanPredicate::default()).unwrap();
         assert_eq!(out.batches.len(), 1);
         let ids = &out.batches[0][0];
@@ -236,7 +341,7 @@ mod tests {
     #[test]
     fn stl_explain_splits_plan_lines() {
         let sink = sink_with_queries(1);
-        let sys = SystemTables::capture(&sink, &["stl_explain"]);
+        let sys = SystemTables::capture(&sink, None, &["stl_explain"]);
         let out = sys.scan_slice("stl_explain", 0, &[0, 1, 2], &ScanPredicate::default()).unwrap();
         let steps = &out.batches[0][1];
         assert_eq!(steps.len(), 2, "two plan lines → two rows");
@@ -246,7 +351,7 @@ mod tests {
     #[test]
     fn empty_sink_yields_empty_tables() {
         let sink = Arc::new(TraceSink::with_level(LVL_CORE));
-        let sys = SystemTables::capture(&sink, &["svl_query_metrics"]);
+        let sys = SystemTables::capture(&sink, None, &["svl_query_metrics"]);
         let out =
             sys.scan_slice("svl_query_metrics", 0, &[0], &ScanPredicate::default()).unwrap();
         assert!(out.batches.is_empty());

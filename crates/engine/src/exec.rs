@@ -51,6 +51,9 @@ pub struct ExecMetrics {
     pub groups_total: usize,
     pub groups_skipped: usize,
     pub rows_scanned: u64,
+    /// Time the query waited for a WLM concurrency slot before running
+    /// (leader-side admission control; 0 when a slot was free).
+    pub queue_wait_ns: u64,
 }
 
 impl ExecMetrics {
@@ -65,6 +68,7 @@ impl ExecMetrics {
         self.groups_total += other.groups_total;
         self.groups_skipped += other.groups_skipped;
         self.rows_scanned += other.rows_scanned;
+        self.queue_wait_ns += other.queue_wait_ns;
     }
 
     /// Total interconnect traffic (broadcast + redistribution) — the
@@ -968,4 +972,42 @@ fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
 /// Like [`parallel_map`] but consuming owned inputs.
 fn parallel_map_owned<I: Send, T: Send>(inputs: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
     redsim_testkit::par::map(inputs, f)
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::ExecMetrics;
+
+    /// `absorb` must cover *every* field. The struct literal below has
+    /// no `..Default::default()` escape hatch on purpose: adding a field
+    /// to [`ExecMetrics`] without updating this test (and, by checklist,
+    /// `absorb`) is a compile error, and a field missing from `absorb`
+    /// fails the doubling assertion. The remaining manual `+=` sites in
+    /// this file (broadcast/redistribute accounting, per-slice row
+    /// counts) are deliberate single-field increments, not merges.
+    #[test]
+    fn absorb_covers_every_field() {
+        let all_nonzero = ExecMetrics {
+            bytes_broadcast: 1,
+            bytes_redistributed: 2,
+            blocks_read: 3,
+            bytes_read: 4,
+            groups_total: 5,
+            groups_skipped: 6,
+            rows_scanned: 7,
+            queue_wait_ns: 8,
+        };
+        let mut acc = ExecMetrics::default();
+        acc.absorb(&all_nonzero);
+        acc.absorb(&all_nonzero);
+        assert_eq!(acc.bytes_broadcast, 2);
+        assert_eq!(acc.bytes_redistributed, 4);
+        assert_eq!(acc.blocks_read, 6);
+        assert_eq!(acc.bytes_read, 8);
+        assert_eq!(acc.groups_total, 10);
+        assert_eq!(acc.groups_skipped, 12);
+        assert_eq!(acc.rows_scanned, 14);
+        assert_eq!(acc.queue_wait_ns, 16);
+        assert_eq!(acc.exchange_bytes(), 6);
+    }
 }

@@ -257,3 +257,70 @@ fn disaster_recovery_from_second_region() {
     let got = restored.query("SELECT SUM(a), COUNT(*) FROM t").unwrap().rows[0].clone();
     assert_eq!(checksum, got);
 }
+
+#[test]
+fn wlm_queued_queries_survive_node_failure_or_fail_retryably() {
+    // A node dies while queries sit on the WLM wait list. Each queued
+    // query must either complete after re-replication restores
+    // redundancy, or fail with a retryable STATE error (wait timeout) —
+    // never hang past the queue's max_wait.
+    use redshift_sim::core::{WlmConfig, WlmQueueDef};
+    use std::time::{Duration, Instant};
+    let wlm = WlmConfig::with_queues(vec![
+        WlmQueueDef::new("only", 1).max_wait(Duration::from_millis(800))
+    ]);
+    let c = Cluster::launch(
+        ClusterConfig::new("f8").nodes(2).slices_per_node(1).wlm(wlm),
+    )
+    .unwrap();
+    load(&c, 4_000);
+    // Occupy the only concurrency slot, as a heavy ETL query would.
+    let slot = c.wlm().admit(u64::MAX, None).unwrap();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let c2 = Arc::clone(&c);
+            std::thread::spawn(move || {
+                c2.query("SELECT COUNT(*), SUM(a) FROM t").map(|r| r.rows)
+            })
+        })
+        .collect();
+    // Wait until all four actually sit on the wait list.
+    while c.wlm().service_class_states()[0].queued < 4 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "queries never queued");
+        std::thread::yield_now();
+    }
+    // Failure strikes while they wait; re-replication restores redundancy.
+    let store = c.replicated_store().unwrap();
+    store.kill_node(NodeId(0));
+    store.re_replicate(NodeId(0)).unwrap();
+    // Free the slot: the wait list drains one query at a time.
+    drop(slot);
+    let mut completed = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(rows) => {
+                assert_eq!(rows[0].get(0).as_i64(), Some(4_000), "torn read after failure");
+                completed += 1;
+            }
+            // Eviction by wait timeout is the allowed retryable outcome.
+            Err(e) => assert_eq!(e.code(), "STATE", "unexpected error class: {e}"),
+        }
+    }
+    assert!(completed > 0, "at least the first released query completes");
+    // Liveness: nothing hung past max_wait (plus generous execution slack).
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "queued queries hung past the wait timeout: {:?}",
+        t0.elapsed()
+    );
+    // Books are clean afterwards.
+    let sc = &c.wlm().service_class_states()[0];
+    assert_eq!(sc.queued, 0);
+    assert_eq!(sc.in_flight, 0);
+    assert_eq!(
+        sc.executed + sc.evicted,
+        5, // the slot-holder + 4 workers, every admission accounted for
+        "lost or double-counted admissions: {sc:?}"
+    );
+}

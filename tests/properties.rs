@@ -459,3 +459,311 @@ fn trace_invariants_hold_under_random_workload() {
         assert_eq!(stl.rows[0].get(0).as_i64(), Some(selects as i64));
     });
 }
+
+// ---------------------------------------------------------------------
+// WLM admission invariants under concurrent mixed load (archetype
+// headline). A randomized mix of short SELECTs, heavy self-joins and
+// COPYs is fired from `testkit::par` threads at a 2-queue + SQA config;
+// the controller must keep exact books.
+// ---------------------------------------------------------------------
+
+/// Per-thread statement scripts: each inner step is (kind, literal).
+/// kind 0 = short SELECT, 1 = heavy join, 2 = COPY (bypasses WLM — only
+/// SELECTs are admission-controlled).
+fn arb_wlm_workload() -> Gen<Vec<Vec<(usize, i64)>>> {
+    prop::vec_of(
+        prop::vec_of(prop::pair(prop::range(0usize..3), prop::range(0i64..1_000)), 1..8),
+        2..5,
+    )
+}
+
+#[test]
+fn wlm_admission_invariants() {
+    use redshift_sim::core::{WlmConfig, WlmQueueDef};
+    use redshift_sim::testkit::par;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    let cfg = Config::with_cases(64).regressions_file(regressions());
+    prop::check("wlm_admission_invariants", &cfg, &arb_wlm_workload(), |threads| {
+        let wlm = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("short", 2).max_cost(500).max_wait(Duration::from_secs(20)),
+            WlmQueueDef::new("long", 2).max_wait(Duration::from_secs(20)),
+        ])
+        .sqa(500, 1);
+        let c = Cluster::launch(
+            ClusterConfig::new("wlm-prop").nodes(2).slices_per_node(2).wlm(wlm),
+        )
+        .unwrap();
+        c.execute("CREATE TABLE small (a BIGINT)").unwrap();
+        c.execute("INSERT INTO small VALUES (1), (2), (3)").unwrap();
+        c.execute("CREATE TABLE big (k BIGINT, v BIGINT) DISTKEY(k)").unwrap();
+        let mut csv = String::new();
+        for i in 0..400 {
+            csv.push_str(&format!("{},{}\n", i % 40, i));
+        }
+        c.put_s3_object("w/1", csv.into_bytes());
+        c.execute("COPY big FROM 's3://w/'").unwrap();
+
+        // Sequential warm-up: with every slot free, queue_wait must be 0.
+        let r = c.query("SELECT COUNT(*) FROM small").unwrap();
+        assert_eq!(r.metrics.queue_wait_ns, 0, "free slots ⇒ zero queue wait");
+        let warmup_selects = 1u64;
+
+        // Concurrent phase: each generated script runs on its own thread.
+        let issued = AtomicU64::new(warmup_selects);
+        let results: Vec<Result<(), String>> = par::map(threads.clone(), |script| {
+            for (kind, lit) in script {
+                let res = match kind {
+                    0 => {
+                        issued.fetch_add(1, Ordering::Relaxed);
+                        c.query_as(
+                            &format!("SELECT COUNT(*) FROM small WHERE a <> {lit}"),
+                            None,
+                        )
+                        .map(|_| ())
+                    }
+                    1 => {
+                        issued.fetch_add(1, Ordering::Relaxed);
+                        c.query_as(
+                            &format!(
+                                "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
+                                 WHERE a.v <> {lit} GROUP BY a.k ORDER BY n DESC LIMIT 5"
+                            ),
+                            Some("etl_users"),
+                        )
+                        .map(|_| ())
+                    }
+                    _ => {
+                        // COPY takes the write path: not WLM-controlled.
+                        let key = format!("w/extra-{lit}");
+                        c.put_s3_object(&key, format!("{lit},{lit}\n").into_bytes());
+                        c.execute(&format!("COPY big FROM 's3://{key}'")).map(|_| ())
+                    }
+                };
+                // Generous waits + bounded load: nothing may fail here.
+                if let Err(e) = res {
+                    return Err(format!("statement failed: {e}"));
+                }
+            }
+            Ok(())
+        });
+        for r in results {
+            r.unwrap();
+        }
+        let issued = issued.load(Ordering::Relaxed);
+
+        // Invariant: exact accounting — one stl_wlm_query row per SELECT
+        // issued, all Completed (no eviction under generous timeouts),
+        // never double-admitted (counter equality).
+        let rows = c.query("SELECT COUNT(*) FROM stl_wlm_query").unwrap();
+        assert_eq!(rows.rows[0].get(0).as_i64(), Some(issued as i64), "no query lost");
+        let done = c
+            .query("SELECT COUNT(*) FROM stl_wlm_query WHERE state = 'Completed'")
+            .unwrap();
+        assert_eq!(done.rows[0].get(0).as_i64(), Some(issued as i64));
+        assert_eq!(c.trace().counter_value("wlm.admitted"), issued, "admitted once each");
+        assert_eq!(c.trace().counter_value("wlm.completed"), issued);
+
+        // Invariant: at quiesce nothing holds a slot, nobody queues, and
+        // per-class in-flight never exceeded slots (the live view is the
+        // same code path the monitor samples mid-run).
+        for sc in c.wlm().service_class_states() {
+            assert_eq!(sc.in_flight, 0, "{}: slot leaked", sc.name);
+            assert_eq!(sc.queued, 0, "{}: waiter leaked", sc.name);
+            assert!(sc.in_flight <= sc.slots);
+            assert_eq!(sc.evicted, 0, "{}: spurious eviction", sc.name);
+            assert_eq!(sc.rejected, 0, "{}: spurious rejection", sc.name);
+        }
+        let stv = c
+            .query(
+                "SELECT service_class, in_flight, queued FROM stv_wlm_service_class_state \
+                 ORDER BY service_class",
+            )
+            .unwrap();
+        assert_eq!(stv.rows.len(), 3, "short + long + sqa lanes visible");
+
+        // Invariant: whenever a query reports zero wait it was admitted
+        // straight to a slot; sum of waits matches the per-class books.
+        let waits = c
+            .query("SELECT COUNT(*) FROM stl_wlm_query WHERE queue_wait_us > 0")
+            .unwrap();
+        let waited = waits.rows[0].get(0).as_i64().unwrap() as u64;
+        assert_eq!(c.trace().counter_value("wlm.queued_admits") >= waited, true);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Elastic resize as a property (ported from examples/elastic_resize.rs):
+// random topologies before/after, concurrent readers during the resize,
+// WLM drains in-flight queries first, and no row is lost.
+// ---------------------------------------------------------------------
+
+fn arb_resize_case() -> Gen<((u32, u32, u32, u32), Vec<i64>)> {
+    prop::pair(
+        prop::tuple4(
+            prop::range(1u32..4),  // nodes before
+            prop::range(1u32..3),  // slices before
+            prop::range(1u32..5),  // nodes after
+            prop::range(1u32..3),  // slices after
+        ),
+        prop::vec_of(prop::range(0i64..10_000), 1..200),
+    )
+}
+
+#[test]
+fn wlm_resize_preserves_data_and_drains() {
+    let cfg = Config::with_cases(64).regressions_file(regressions());
+    prop::check(
+        "wlm_resize_preserves_data_and_drains",
+        &cfg,
+        &arb_resize_case(),
+        |((n0, s0, n1, s1), keys)| {
+            let c = Cluster::launch(
+                ClusterConfig::new("rz-prop")
+                    .nodes(*n0)
+                    .slices_per_node(*s0)
+                    .rows_per_group(32),
+            )
+            .unwrap();
+            c.execute("CREATE TABLE ev (k BIGINT) DISTKEY(k)").unwrap();
+            let mut csv = String::new();
+            for k in keys {
+                csv.push_str(&format!("{k}\n"));
+            }
+            c.put_s3_object("rz/1", csv.into_bytes());
+            c.execute("COPY ev FROM 's3://rz/'").unwrap();
+            let q = "SELECT COUNT(*), SUM(k) FROM ev";
+            let before = c.query(q).unwrap().rows;
+
+            // A reader hammers the source while the resize runs. Every
+            // result is either correct rows or a clean STATE error from
+            // the WLM drain / decommission — never a panic or bad data.
+            let (target, reader_results) = {
+                let c2 = Arc::clone(&c);
+                let reader = std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..40 {
+                        out.push(c2.query("SELECT COUNT(*) FROM ev").map(|r| r.rows));
+                        std::thread::yield_now();
+                    }
+                    out
+                });
+                let target = c.resize(*n1, *s1).unwrap();
+                (target, reader.join().unwrap())
+            };
+            let expect_n = before[0].get(0).clone();
+            for r in reader_results {
+                match r {
+                    Ok(rows) => assert_eq!(rows[0].get(0), &expect_n, "reader saw torn data"),
+                    Err(e) => assert_eq!(e.code(), "STATE", "unexpected error class: {e}"),
+                }
+            }
+
+            // WLM drained: the source rejects, queue books are clean.
+            assert!(c.query(q).is_err(), "source decommissioned");
+            assert!(c.wlm().is_draining());
+            for sc in c.wlm().service_class_states() {
+                assert_eq!(sc.in_flight, 0, "drain left a query in flight");
+                assert_eq!(sc.queued, 0);
+            }
+
+            // Data survived the topology change bit-for-bit.
+            assert_eq!(target.query(q).unwrap().rows, before);
+            assert_eq!(target.topology().total_slices(), n1 * s1);
+            // The target accepts new work immediately.
+            target.execute("INSERT INTO ev VALUES (424242)").unwrap();
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// DR failover as a property (ported from examples/disaster_recovery.rs):
+// random data + failure point; the primary drains via WLM-led shutdown,
+// the standby region restores losslessly with streaming hydration.
+// ---------------------------------------------------------------------
+
+fn arb_dr_case() -> Gen<(Vec<(i64, i64)>, usize, bool)> {
+    prop::triple(
+        prop::vec_of(prop::pair(prop::range(0i64..5_000), prop::range(0i64..100)), 1..150),
+        prop::range(0usize..3), // failure point: when hydration gets driven
+        prop::any_bool(),       // encrypted?
+    )
+}
+
+#[test]
+fn wlm_dr_failover_preserves_data() {
+    let cfg = Config::with_cases(64).regressions_file(regressions());
+    prop::check(
+        "wlm_dr_failover_preserves_data",
+        &cfg,
+        &arb_dr_case(),
+        |(rows, failure_point, encrypted)| {
+            let c = Cluster::launch(
+                ClusterConfig::new("dr-prop")
+                    .nodes(2)
+                    .slices_per_node(1)
+                    .rows_per_group(16)
+                    .dr_region("eu-west-1")
+                    .encrypted(*encrypted),
+            )
+            .unwrap();
+            c.execute("CREATE TABLE acct (id BIGINT, bal BIGINT) DISTKEY(id)").unwrap();
+            let mut csv = String::new();
+            for (id, bal) in rows {
+                csv.push_str(&format!("{id},{bal}\n"));
+            }
+            c.put_s3_object("a/1", csv.into_bytes());
+            c.execute("COPY acct FROM 's3://a/'").unwrap();
+            let q = "SELECT COUNT(*), SUM(bal) FROM acct";
+            let before = c.query(q).unwrap().rows;
+            use redshift_sim::replication::SnapshotKind;
+            c.create_snapshot("friday", SnapshotKind::User).unwrap();
+
+            // Region failure drill: drain in-flight queries, then the
+            // primary goes dark. A racing reader sees either good rows
+            // or a clean STATE error — shutdown never tears a result.
+            let c2 = Arc::clone(&c);
+            let reader = std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for _ in 0..20 {
+                    out.push(c2.query("SELECT COUNT(*) FROM acct").map(|r| r.rows));
+                }
+                out
+            });
+            c.shutdown();
+            for r in reader.join().unwrap() {
+                match r {
+                    Ok(got) => assert_eq!(got[0].get(0), before[0].get(0)),
+                    Err(e) => assert_eq!(e.code(), "STATE", "unexpected error class: {e}"),
+                }
+            }
+            assert!(c.query(q).is_err(), "primary is decommissioned after shutdown");
+            for sc in c.wlm().service_class_states() {
+                assert_eq!(sc.in_flight, 0, "shutdown left a query in flight");
+            }
+
+            // Failover: restore in the standby region from the DR copy.
+            let hsm = c.hsm().map(Arc::clone);
+            let standby = Cluster::restore_from_snapshot(
+                ClusterConfig::new("dr-prop").nodes(2).slices_per_node(1).region("eu-west-1"),
+                Arc::clone(c.s3()),
+                "eu-west-1",
+                "dr-prop",
+                "friday",
+                hsm,
+            )
+            .unwrap();
+            // Random failure point: query immediately (pure page-fault
+            // serving), mid-hydration, or after full hydration.
+            match failure_point {
+                0 => {}
+                1 => {
+                    standby.hydrate_step(8).unwrap();
+                }
+                _ => while standby.hydrate_step(64).unwrap() > 0 {},
+            }
+            assert_eq!(standby.query(q).unwrap().rows, before, "failover lost data");
+        },
+    );
+}
