@@ -34,6 +34,19 @@ if [ -n "$obs_deps" ]; then
 fi
 echo "ok: redsim-obs has no dependencies"
 
+echo "== hermeticity guard: redsim-faultkit is a leaf (no deps at all) =="
+# The failpoint substrate rides inside every production S3/replication
+# path; like obs, it must stay pure-std so fault seams can be added to
+# any crate without dependency cycles or new baggage.
+faultkit_deps=$(cargo tree -p redsim-faultkit --offline --edges normal --prefix none \
+  | sort -u | grep -v '^redsim-faultkit ' | grep -v '^\s*$' || true)
+if [ -n "$faultkit_deps" ]; then
+  echo "error: redsim-faultkit grew dependencies:" >&2
+  echo "$faultkit_deps" >&2
+  exit 1
+fi
+echo "ok: redsim-faultkit has no dependencies"
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -54,6 +67,14 @@ echo "== wlm invariants (quick property pass) =="
 # pinned in tests/properties.proptest-regressions and replayed first;
 # reproduce any failure with RSIM_SEED=<seed> and the full suite.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties wlm_
+
+echo "== chaos invariants (quick property pass) =="
+# Randomized COPY/SELECT/kill/revive/backup/restore schedules under
+# randomized transient failpoint configs: exact results or typed
+# retryable errors, the cluster heals once faults clear, no hangs.
+# Failing seeds are pinned in tests/properties.proptest-regressions;
+# replay with RSIM_SEED=<seed> (and RSIM_FAILPOINTS for ad-hoc configs).
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties chaos_
 
 echo "== benchdiff smoke (self-diff must pass, regression must fail) =="
 bd_dir=$(mktemp -d)

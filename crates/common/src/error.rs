@@ -46,6 +46,11 @@ pub enum RsError {
     TxnConflict(String),
     /// Feature intentionally outside the reproduced SQL subset.
     Unsupported(String),
+    /// A service (simulated S3, a saturated mirror, an exhausted retry
+    /// budget) asked the caller to slow down. Always transient: callers
+    /// with a [`is_retryable`](RsError::is_retryable)-driven retry loop
+    /// absorb these; callers without one surface `THROTTLE`.
+    Throttled(String),
 }
 
 impl RsError {
@@ -68,6 +73,45 @@ impl RsError {
             RsError::InvalidState(_) => "STATE",
             RsError::TxnConflict(_) => "TXN",
             RsError::Unsupported(_) => "UNSUPPORTED",
+            RsError::Throttled(_) => "THROTTLE",
+        }
+    }
+
+    /// Whether a retry loop may absorb this error.
+    ///
+    /// The classification is the contract between fault injection and
+    /// the [`retry`](crate::retry) machinery: transient classes
+    /// (throttles, injected hardware faults, replication hiccups,
+    /// serialization conflicts) are worth retrying with backoff;
+    /// everything else is permanent and must surface immediately —
+    /// retrying a parse error or a genuinely missing S3 object only
+    /// burns the attempt budget and hides the bug.
+    ///
+    /// The match is deliberately exhaustive (no `_` arm) and lives in
+    /// the defining crate, so adding a variant without deciding its
+    /// retry class is a compile error, and
+    /// `every_code_has_a_retry_classification` keeps the `code()` table
+    /// in sync.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            // Transient: a later attempt can genuinely succeed.
+            RsError::Throttled(_) => true,
+            RsError::FaultInjected(_) => true,
+            RsError::Replication(_) => true,
+            RsError::TxnConflict(_) => true,
+            // Permanent: deterministic given the request and state.
+            RsError::Parse(_)
+            | RsError::Analysis(_)
+            | RsError::Plan(_)
+            | RsError::Execution(_)
+            | RsError::Storage(_)
+            | RsError::NotFound(_)
+            | RsError::AlreadyExists(_)
+            | RsError::Codec(_)
+            | RsError::Crypto(_)
+            | RsError::ControlPlane(_)
+            | RsError::InvalidState(_)
+            | RsError::Unsupported(_) => false,
         }
     }
 
@@ -87,7 +131,8 @@ impl RsError {
             | RsError::FaultInjected(m)
             | RsError::InvalidState(m)
             | RsError::TxnConflict(m)
-            | RsError::Unsupported(m) => m,
+            | RsError::Unsupported(m)
+            | RsError::Throttled(m) => m,
         }
     }
 }
@@ -128,8 +173,81 @@ mod tests {
             RsError::InvalidState(String::new()),
             RsError::TxnConflict(String::new()),
             RsError::Unsupported(String::new()),
+            RsError::Throttled(String::new()),
         ];
         let codes: std::collections::BTreeSet<_> = errs.iter().map(|e| e.code()).collect();
         assert_eq!(codes.len(), errs.len());
+    }
+
+    /// One constructed value per variant. `is_retryable()` (an
+    /// exhaustive match in the defining crate, no `_` arm) already makes
+    /// "new variant, no classification" a compile error; this list keeps
+    /// the *tests* honest by failing `every_code_has_a_retry_classification`
+    /// until the new variant is added here and to the expected table.
+    fn every_variant() -> Vec<RsError> {
+        vec![
+            RsError::Parse(String::new()),
+            RsError::Analysis(String::new()),
+            RsError::Plan(String::new()),
+            RsError::Execution(String::new()),
+            RsError::Storage(String::new()),
+            RsError::NotFound(String::new()),
+            RsError::AlreadyExists(String::new()),
+            RsError::Codec(String::new()),
+            RsError::Replication(String::new()),
+            RsError::Crypto(String::new()),
+            RsError::ControlPlane(String::new()),
+            RsError::FaultInjected(String::new()),
+            RsError::InvalidState(String::new()),
+            RsError::TxnConflict(String::new()),
+            RsError::Unsupported(String::new()),
+            RsError::Throttled(String::new()),
+        ]
+    }
+
+    #[test]
+    fn every_code_has_a_retry_classification() {
+        // The full (code, retryable) contract, frozen. A new variant
+        // can't silently skip classification: `is_retryable()` has no
+        // wildcard arm (compile error in the defining crate), and this
+        // table fails if the observed classification set drifts.
+        let expected: std::collections::BTreeMap<&str, bool> = [
+            ("PARSE", false),
+            ("ANALYSIS", false),
+            ("PLAN", false),
+            ("EXEC", false),
+            ("STORAGE", false),
+            ("NOT_FOUND", false),
+            ("ALREADY_EXISTS", false),
+            ("CODEC", false),
+            ("REPL", true),
+            ("CRYPTO", false),
+            ("CTRL", false),
+            ("FAULT", true),
+            ("STATE", false),
+            ("TXN", true),
+            ("UNSUPPORTED", false),
+            ("THROTTLE", true),
+        ]
+        .into_iter()
+        .collect();
+        let variants = every_variant();
+        assert_eq!(
+            variants.len(),
+            expected.len(),
+            "every_variant() and the expected table must cover the same set"
+        );
+        let observed: std::collections::BTreeMap<&str, bool> =
+            variants.iter().map(|e| (e.code(), e.is_retryable())).collect();
+        assert_eq!(observed.len(), variants.len(), "codes must stay distinct");
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn throttled_is_retryable_and_displays() {
+        let e = RsError::Throttled("s3.get attempt budget exhausted".into());
+        assert!(e.is_retryable());
+        assert_eq!(e.code(), "THROTTLE");
+        assert_eq!(e.to_string(), "THROTTLE: s3.get attempt budget exhausted");
     }
 }

@@ -13,12 +13,15 @@
 //! * [`codec`] — a small hand-rolled binary format for catalog, manifest
 //!   and snapshot metadata (keeps the durability path dependency-free).
 //! * [`error`] — the workspace-wide error type.
+//! * [`retry`] — typed retry/backoff (decorrelated jitter, attempt
+//!   budget, per-op deadline) driven by [`error::RsError::is_retryable`].
 
 pub mod bitmap;
 pub mod codec;
 pub mod column;
 pub mod error;
 pub mod hash;
+pub mod retry;
 pub mod row;
 pub mod schema;
 pub mod types;
@@ -27,6 +30,7 @@ pub use bitmap::Bitmap;
 pub use column::{ColumnData, StrVec};
 pub use error::{Result, RsError};
 pub use hash::{fx_hash64, FxHashMap, FxHashSet, FxHasher};
+pub use retry::{RetryEvent, RetryPolicy};
 pub use row::Row;
 pub use schema::{ColumnDef, Schema};
 pub use types::{DataType, Value};

@@ -1,0 +1,367 @@
+//! Typed retry with exponential backoff and decorrelated jitter.
+//!
+//! The paper's control plane (§2.2) exists to detect failures and ride
+//! through them; §5 frames the design goal as an *escalator* — degraded
+//! but moving — rather than an elevator that strands everyone when it
+//! breaks. [`RetryPolicy`] is the code form of that: any S3-touching or
+//! replication operation is wrapped in a loop that absorbs transient
+//! errors ([`RsError::is_retryable`]) with exponentially-growing,
+//! jittered waits, bounded by an attempt budget and a per-operation
+//! deadline, and surfaces permanent errors immediately and unchanged.
+//!
+//! The jitter scheme is AWS's "decorrelated jitter":
+//! `sleep = min(cap, uniform(base, prev_sleep * 3))`, which spreads
+//! concurrent retriers apart instead of letting them thunder in phase.
+//! Sleep sampling runs off a seeded splitmix64 stream, so a chaos
+//! schedule replayed with the same `RSIM_SEED` makes the same
+//! retry-timing decisions.
+//!
+//! Exhaustion semantics: when the budget or deadline runs out, the
+//! **last error is returned unchanged** (with attempt context appended
+//! to its message). A run of injected throttles therefore surfaces as
+//! `THROTTLE`, a run of replication hiccups as `REPL` — the caller sees
+//! the true failure class, typed, never a hang.
+
+use crate::error::{Result, RsError};
+use std::time::{Duration, Instant};
+
+/// Bounded retry loop configuration. `Copy`, cheap to pass around;
+/// construct once per subsystem (e.g. `ClusterConfig::retry`) and reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sample.
+    pub base_delay: Duration,
+    /// Upper clamp on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget for the whole operation (attempts + sleeps).
+    /// Once exceeded, the loop stops retrying even with attempts left —
+    /// this is what guarantees "never hangs".
+    pub deadline: Duration,
+    /// Seed for the jitter stream (mix in a per-operation salt via
+    /// [`RetryPolicy::with_seed`] for decorrelated concurrent callers).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            deadline: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+/// What happened on one attempt — passed to the observer hook so call
+/// sites can wire counters/spans without the policy knowing about `obs`.
+#[derive(Debug, Clone)]
+pub enum RetryEvent {
+    /// Attempt `attempt` (1-based) failed retryably; the loop will sleep
+    /// `wait` and go again.
+    Backoff { op: &'static str, attempt: u32, wait: Duration, error: RsError },
+    /// The loop gave up: budget or deadline exhausted, or the error was
+    /// permanent (`retryable == false`). Carries the error about to be
+    /// returned and the total attempts made.
+    GaveUp { op: &'static str, attempts: u32, retryable: bool, error: RsError },
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (useful for ablations and as the
+    /// explicit "fail fast" choice).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "max_attempts must be >= 1");
+        self.max_attempts = n;
+        self
+    }
+
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    pub fn with_delays(mut self, base: Duration, max: Duration) -> Self {
+        assert!(base <= max, "base_delay must be <= max_delay");
+        self.base_delay = base;
+        self.max_delay = max;
+        self
+    }
+
+    /// Run `op` under this policy. See [`Self::run_observed`].
+    pub fn run<T>(&self, name: &'static str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.run_observed(name, op, |_| {})
+    }
+
+    /// Run `op` until it succeeds, fails permanently, or the budget /
+    /// deadline is exhausted. `observe` is called on every backoff and
+    /// on the final give-up, letting callers bump `retry.attempts` /
+    /// `retry.exhausted` counters and emit `retry.wait` spans.
+    pub fn run_observed<T>(
+        &self,
+        name: &'static str,
+        mut op: impl FnMut() -> Result<T>,
+        mut observe: impl FnMut(&RetryEvent),
+    ) -> Result<T> {
+        debug_assert!(self.max_attempts >= 1);
+        let start = Instant::now();
+        let mut jitter = Splitmix64::new(self.seed ^ fx_str_salt(name));
+        let mut prev_sleep = self.base_delay;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !err.is_retryable() {
+                observe(&RetryEvent::GaveUp {
+                    op: name,
+                    attempts: attempt,
+                    retryable: false,
+                    error: err.clone(),
+                });
+                return Err(err);
+            }
+            let out_of_attempts = attempt >= self.max_attempts;
+            let out_of_time = start.elapsed() >= self.deadline;
+            if out_of_attempts || out_of_time {
+                let why = if out_of_attempts { "attempt budget" } else { "deadline" };
+                let exhausted = append_context(err, name, attempt, why);
+                observe(&RetryEvent::GaveUp {
+                    op: name,
+                    attempts: attempt,
+                    retryable: true,
+                    error: exhausted.clone(),
+                });
+                return Err(exhausted);
+            }
+            // Decorrelated jitter: uniform(base, prev * 3), clamped.
+            let lo = self.base_delay.as_nanos() as u64;
+            let hi = (prev_sleep.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+            let sampled = lo + jitter.next_u64() % (hi - lo);
+            let capped = Duration::from_nanos(sampled).min(self.max_delay);
+            // Never sleep past the deadline.
+            let remaining = self.deadline.saturating_sub(start.elapsed());
+            let wait = capped.min(remaining);
+            prev_sleep = capped;
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            // Observed after the sleep so hooks can record the wait as
+            // an already-timed span with accurate start/duration.
+            observe(&RetryEvent::Backoff { op: name, attempt, wait, error: err });
+        }
+    }
+}
+
+/// Append retry context to the exhausted error's message while keeping
+/// its variant (and therefore its `code()`).
+fn append_context(err: RsError, op: &str, attempts: u32, why: &str) -> RsError {
+    let note = format!(" (retry {why} exhausted after {attempts} attempts on {op})");
+    match err {
+        RsError::Parse(m) => RsError::Parse(m + &note),
+        RsError::Analysis(m) => RsError::Analysis(m + &note),
+        RsError::Plan(m) => RsError::Plan(m + &note),
+        RsError::Execution(m) => RsError::Execution(m + &note),
+        RsError::Storage(m) => RsError::Storage(m + &note),
+        RsError::NotFound(m) => RsError::NotFound(m + &note),
+        RsError::AlreadyExists(m) => RsError::AlreadyExists(m + &note),
+        RsError::Codec(m) => RsError::Codec(m + &note),
+        RsError::Replication(m) => RsError::Replication(m + &note),
+        RsError::Crypto(m) => RsError::Crypto(m + &note),
+        RsError::ControlPlane(m) => RsError::ControlPlane(m + &note),
+        RsError::FaultInjected(m) => RsError::FaultInjected(m + &note),
+        RsError::InvalidState(m) => RsError::InvalidState(m + &note),
+        RsError::TxnConflict(m) => RsError::TxnConflict(m + &note),
+        RsError::Unsupported(m) => RsError::Unsupported(m + &note),
+        RsError::Throttled(m) => RsError::Throttled(m + &note),
+    }
+}
+
+/// splitmix64 — tiny, seedable, and already the workspace's seed-chain
+/// primitive (testkit's property harness uses the same finalizer).
+struct Splitmix64(u64);
+
+impl Splitmix64 {
+    fn new(seed: u64) -> Self {
+        Splitmix64(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Cheap stable salt from an op name so different ops on the same seed
+/// sample different jitter streams.
+fn fx_str_salt(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn first_try_success_is_zero_overhead_path() {
+        let policy = RetryPolicy::default();
+        let calls = Cell::new(0);
+        let out = policy.run("t", || {
+            calls.set(calls.get() + 1);
+            Ok(7)
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn transient_errors_are_absorbed() {
+        let policy = RetryPolicy::default()
+            .with_delays(Duration::from_micros(10), Duration::from_micros(100));
+        let calls = Cell::new(0);
+        let out = policy.run("t", || {
+            calls.set(calls.get() + 1);
+            if calls.get() < 4 {
+                Err(RsError::Throttled("slow down".into()))
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(out.unwrap(), "done");
+        assert_eq!(calls.get(), 4);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let policy = RetryPolicy::default();
+        let calls = Cell::new(0);
+        let out: Result<()> = policy.run("t", || {
+            calls.set(calls.get() + 1);
+            Err(RsError::NotFound("no such key".into()))
+        });
+        assert_eq!(calls.get(), 1, "permanent errors must not burn the budget");
+        assert_eq!(out.unwrap_err().code(), "NOT_FOUND");
+    }
+
+    #[test]
+    fn exhaustion_keeps_the_error_class_and_adds_context() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_delays(Duration::from_micros(10), Duration::from_micros(50));
+        let calls = Cell::new(0);
+        let out: Result<()> = policy.run("s3.get", || {
+            calls.set(calls.get() + 1);
+            Err(RsError::Throttled("injected".into()))
+        });
+        assert_eq!(calls.get(), 3);
+        let err = out.unwrap_err();
+        assert_eq!(err.code(), "THROTTLE");
+        assert!(err.to_string().contains("exhausted after 3 attempts on s3.get"), "{err}");
+
+        // A replication-class transient exhausts as REPL, not THROTTLE:
+        // callers see the true class.
+        let out2: Result<()> =
+            policy.run("mirror", || Err(RsError::Replication("secondary down".into())));
+        assert_eq!(out2.unwrap_err().code(), "REPL");
+    }
+
+    #[test]
+    fn deadline_bounds_wall_clock() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(u32::MAX)
+            .with_deadline(Duration::from_millis(30))
+            .with_delays(Duration::from_millis(1), Duration::from_millis(5));
+        let t0 = Instant::now();
+        let out: Result<()> = policy.run("t", || Err(RsError::Throttled("forever".into())));
+        assert!(out.is_err());
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "deadline must bound the loop, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn observer_sees_backoffs_and_final_give_up() {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_delays(Duration::from_micros(10), Duration::from_micros(50));
+        let mut backoffs = 0;
+        let mut gave_up = None;
+        let out: Result<()> = policy.run_observed(
+            "t",
+            || Err(RsError::FaultInjected("disk smoke".into())),
+            |ev| match ev {
+                RetryEvent::Backoff { wait, .. } => {
+                    assert!(*wait <= Duration::from_micros(50));
+                    backoffs += 1;
+                }
+                RetryEvent::GaveUp { attempts, retryable, .. } => {
+                    gave_up = Some((*attempts, *retryable));
+                }
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(backoffs, 2, "attempts 1 and 2 back off; attempt 3 gives up");
+        assert_eq!(gave_up, Some((3, true)));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        // Same seed ⇒ same wait sequence; different seed ⇒ different.
+        let waits = |seed: u64| -> Vec<Duration> {
+            let policy = RetryPolicy::default()
+                .with_seed(seed)
+                .with_max_attempts(6)
+                .with_delays(Duration::from_micros(10), Duration::from_micros(200));
+            let mut ws = Vec::new();
+            let _ = policy.run_observed(
+                "t",
+                || -> Result<()> { Err(RsError::Throttled("x".into())) },
+                |ev| {
+                    if let RetryEvent::Backoff { wait, .. } = ev {
+                        ws.push(*wait);
+                    }
+                },
+            );
+            ws
+        };
+        let a = waits(1);
+        assert_eq!(a, waits(1));
+        assert_ne!(a, waits(2));
+        assert!(a.iter().all(|w| *w >= Duration::from_micros(10) - Duration::from_nanos(1)
+            && *w <= Duration::from_micros(200)));
+    }
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        let calls = Cell::new(0);
+        let out: Result<()> = RetryPolicy::none().run("t", || {
+            calls.set(calls.get() + 1);
+            Err(RsError::Throttled("x".into()))
+        });
+        assert_eq!(calls.get(), 1);
+        assert_eq!(out.unwrap_err().code(), "THROTTLE");
+    }
+}

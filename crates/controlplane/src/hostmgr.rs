@@ -165,6 +165,20 @@ impl HostManager {
         }
     }
 
+    /// Ingest a typed error directly. Classifies by stable code and —
+    /// unlike raw [`Self::record_error`] — also tracks whether the error
+    /// was transient (`is_retryable`), so the §5 Pareto analysis can
+    /// separate throttle storms that exhausted their retry budget from
+    /// genuinely permanent faults.
+    pub fn record_rs_error(&mut self, err: &redsim_common::RsError) {
+        self.record_error(err.code());
+        if err.is_retryable() {
+            if let Some(t) = &self.trace {
+                t.counter("hostmgr.errors.retryable").incr();
+            }
+        }
+    }
+
     /// Top-k error codes by count (shipped to the control plane for the
     /// fleet-wide Pareto analysis of §5).
     pub fn top_errors(&self, k: usize) -> Vec<(String, u64)> {
@@ -247,6 +261,27 @@ mod tests {
         assert_eq!(top[0].1, 1_500);
         assert_eq!(top[1].0, "STORAGE");
         assert!(m.rotated_logs() >= 2);
+    }
+
+    #[test]
+    fn typed_errors_classify_and_count_retryables() {
+        use redsim_common::RsError;
+        let sink = Arc::new(TraceSink::with_level(LVL_PHASE));
+        let mut m = HostManager::new(HostManagerConfig::default()).with_trace(Arc::clone(&sink));
+        // A retry-exhausted throttle (transient class preserved) and a
+        // permanent fault land in different Pareto buckets.
+        m.record_rs_error(&RsError::Throttled(
+            "injected throttle at failpoint s3.get (retry attempt budget exhausted after 6 \
+             attempts on s3.get)"
+                .into(),
+        ));
+        m.record_rs_error(&RsError::NotFound("s3://r/k".into()));
+        let top = m.top_errors(2);
+        assert_eq!(top[0].1, 1);
+        assert!(top.iter().any(|(c, _)| c == "THROTTLE"));
+        assert!(top.iter().any(|(c, _)| c == "NOT_FOUND"));
+        assert_eq!(sink.counter_value("hostmgr.errors"), 2);
+        assert_eq!(sink.counter_value("hostmgr.errors.retryable"), 1);
     }
 
     #[test]

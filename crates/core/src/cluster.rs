@@ -135,15 +135,21 @@ impl Cluster {
                 }
             })
             .collect();
+        // One retry schedule per cluster: jitter is derived from the
+        // cluster seed so chaos runs replay bit-for-bit.
+        let retry = config.retry.with_seed(config.seed);
         let backup = BackupManager::new(
             Arc::clone(&s3),
             config.region.clone(),
             config.name.clone(),
             config.dr_region.clone(),
             config.system_snapshot_retention,
-        );
+        )
+        .with_retry(retry);
         let trace = Arc::new(TraceSink::from_env());
+        s3.set_trace(Arc::clone(&trace));
         replicated.set_trace(Arc::clone(&trace));
+        replicated.set_retry_policy(retry);
         let wlm = Arc::new(WlmController::new(&config.wlm, Arc::clone(&trace)));
         Ok(Arc::new(Cluster {
             plan_cache: PlanCache::with_policy(
@@ -190,6 +196,13 @@ impl Cluster {
 
     pub fn s3(&self) -> &Arc<S3Sim> {
         &self.s3
+    }
+
+    /// The failpoint registry shared by everything riding on this
+    /// cluster's S3 (mirroring, backup, restore, the COPY loader).
+    /// Configure it programmatically or via `RSIM_FAILPOINTS`.
+    pub fn faults(&self) -> &Arc<redsim_faultkit::FaultRegistry> {
+        self.s3.faults()
     }
 
     pub fn state(&self) -> ClusterState {
@@ -483,7 +496,8 @@ impl Cluster {
         refs: &[&str],
         explain_only: bool,
     ) -> Result<QueryResult> {
-        let sys = SystemTables::capture(&self.trace, Some(&self.wlm), refs);
+        let sys =
+            SystemTables::capture(&self.trace, Some(&self.wlm), Some(self.s3.faults()), refs);
         let bound = Binder::new(&sys).bind_select(sel)?;
         let plan = optimizer::optimize(bound, &sys);
         let plan_text = plan.explain();
@@ -731,7 +745,21 @@ impl Cluster {
             if ospan.is_recording() {
                 ospan.attr("object", key.clone());
             }
-            let raw = self.s3.get(&self.config.region, &key)?;
+            // Fetch through the `copy.fetch_object` failpoint with the
+            // cluster retry policy: transient S3 flakiness is absorbed
+            // with backoff, permanent faults surface typed.
+            let raw = self.config.retry.with_seed(self.config.seed).run_observed(
+                "copy.fetch_object",
+                || {
+                    redsim_replication::fire_no_skip(
+                        self.s3.faults(),
+                        Some(&self.trace),
+                        redsim_faultkit::fp::COPY_FETCH_OBJECT,
+                    )?;
+                    self.s3.get(&self.config.region, &key)
+                },
+                redsim_replication::retry_observer(Some(Arc::clone(&self.trace))),
+            )?;
             // Undo source-side transforms: decrypt, then decompress
             // ("COPY also directly supports ingestion of … data that is
             // encrypted and/or compressed", §2.1).
@@ -946,6 +974,8 @@ impl Cluster {
     ) -> Result<Arc<Cluster>> {
         let topology = ClusterTopology::new(config.nodes, config.slices_per_node)?;
         let trace = Arc::new(TraceSink::from_env());
+        s3.set_trace(Arc::clone(&trace));
+        let retry = config.retry.with_seed(config.seed);
         let mut rspan = trace.span(LVL_PHASE, "restore.open");
         let mgr = BackupManager::new(Arc::clone(&s3), region, bucket, None, 4);
         let (_kind, metadata, blocks) = mgr.load_manifest(region, snapshot_id)?;
@@ -977,7 +1007,8 @@ impl Cluster {
         let catalog = Catalog::decode(&mut r, &topology)?;
         let restoring = Arc::new(
             StreamingRestoreStore::open(Arc::clone(&s3), region, bucket, blocks)
-                .with_trace(Arc::clone(&trace)),
+                .with_trace(Arc::clone(&trace))
+                .with_retry(retry),
         );
         rspan.finish(); // open for SQL: metadata + catalog only (§2.2)
         let shared: Arc<dyn BlockStore> = match &keyring {
@@ -996,7 +1027,8 @@ impl Cluster {
             config.name.clone(),
             config.dr_region.clone(),
             config.system_snapshot_retention,
-        );
+        )
+        .with_retry(retry);
         let rng = Pcg32::seed_from_u64(config.seed);
         let wlm = Arc::new(WlmController::new(&config.wlm, Arc::clone(&trace)));
         Ok(Arc::new(Cluster {

@@ -6,6 +6,7 @@
 //! has a default the system owns.
 
 use crate::wlm::WlmConfig;
+use redsim_common::RetryPolicy;
 use redsim_engine::EvictionPolicy;
 
 /// Configuration for [`crate::Cluster::launch`].
@@ -38,6 +39,11 @@ pub struct ClusterConfig {
     pub system_snapshot_retention: usize,
     /// Seed for the cluster's internal randomness (keys, nonces).
     pub seed: u64,
+    /// Retry/backoff policy for every S3-touching path (COPY object
+    /// fetches, mirror writes, backup uploads, streaming-restore page
+    /// faults). Jitter is reseeded from [`Self::seed`] at launch so a
+    /// cluster's retry schedule replays with its config.
+    pub retry: RetryPolicy,
     /// Workload-management queues (§2.1). The default is one permissive
     /// queue with SQA off, so single-tenant tests never queue.
     pub wlm: WlmConfig,
@@ -59,6 +65,7 @@ impl ClusterConfig {
             plan_cache_eviction: EvictionPolicy::Lru,
             system_snapshot_retention: 4,
             seed: 0xC0FFEE,
+            retry: RetryPolicy::default(),
             wlm: WlmConfig::default(),
         }
     }
@@ -115,6 +122,13 @@ impl ClusterConfig {
 
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Install a retry/backoff policy for S3-touching paths
+    /// (`RetryPolicy::none()` disables retries entirely).
+    pub fn retry(mut self, p: RetryPolicy) -> Self {
+        self.retry = p;
         self
     }
 

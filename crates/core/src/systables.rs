@@ -15,21 +15,24 @@
 //! | `svl_query_metrics` | `SVL_QUERY_METRICS` | `ExecMetrics` attrs    |
 //! | `stl_wlm_query`     | `STL_WLM_QUERY`     | `wlm` span core attrs  |
 //! | `stv_wlm_service_class_state` | `STV_WLM_SERVICE_CLASS_STATE` | live [`WlmController`] state |
+//! | `stl_fault_event`   | (simulator-only)    | [`FaultRegistry`] event ring |
 
 use crate::wlm::WlmController;
 use redsim_common::{ColumnData, ColumnDef, DataType, FxHashMap, Result, RsError, Schema, Value};
+use redsim_faultkit::FaultRegistry;
 use redsim_distribution::DistStyle;
 use redsim_engine::exec::TableProvider;
 use redsim_obs::{SpanRecord, TraceSink};
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
 
 /// The virtual tables the leader recognizes.
-pub const SYSTEM_TABLES: [&str; 5] = [
+pub const SYSTEM_TABLES: [&str; 6] = [
     "stl_query",
     "stl_explain",
     "svl_query_metrics",
     "stl_wlm_query",
     "stv_wlm_service_class_state",
+    "stl_fault_event",
 ];
 
 /// Is `name` a leader-side system table?
@@ -84,6 +87,13 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("rejected", DataType::Int8),
             ColumnDef::new("avg_queue_wait_us", DataType::Int8),
         ],
+        "stl_fault_event" => vec![
+            ColumnDef::new("seq", DataType::Int8),
+            ColumnDef::new("at_us", DataType::Int8),
+            ColumnDef::new("failpoint", DataType::Varchar),
+            ColumnDef::new("action", DataType::Varchar),
+            ColumnDef::new("class", DataType::Varchar),
+        ],
         _ => unreachable!("not a system table: {table}"),
     };
     Schema::new(cols).expect("system table schemas are well-formed")
@@ -100,7 +110,12 @@ fn query_spans(sink: &TraceSink) -> Vec<SpanRecord> {
     spans
 }
 
-fn materialize(sink: &TraceSink, wlm: Option<&WlmController>, table: &str) -> Vec<ColumnData> {
+fn materialize(
+    sink: &TraceSink,
+    wlm: Option<&WlmController>,
+    faults: Option<&FaultRegistry>,
+    table: &str,
+) -> Vec<ColumnData> {
     let schema = schema_of(table);
     let mut cols: Vec<ColumnData> =
         schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
@@ -139,6 +154,21 @@ fn materialize(sink: &TraceSink, wlm: Option<&WlmController>, table: &str) -> Ve
                     Value::Int8(sc.evicted as i64),
                     Value::Int8(sc.rejected as i64),
                     Value::Int8(sc.avg_queue_wait_us as i64),
+                ]);
+            }
+            return cols;
+        }
+        "stl_fault_event" => {
+            // The registry's bounded event ring: one row per injected
+            // fault (err/delay/drop), in injection order. Makes a chaos
+            // run auditable with plain SQL.
+            for ev in faults.map(FaultRegistry::events).unwrap_or_default() {
+                push(vec![
+                    Value::Int8(ev.seq as i64),
+                    Value::Int8((ev.at_ns / 1_000) as i64),
+                    Value::Str(ev.failpoint),
+                    Value::Str(ev.action.to_string()),
+                    Value::Str(ev.class.to_string()),
                 ]);
             }
             return cols;
@@ -198,6 +228,7 @@ impl SystemTables {
     pub fn capture(
         sink: &TraceSink,
         wlm: Option<&WlmController>,
+        faults: Option<&FaultRegistry>,
         referenced: &[&str],
     ) -> SystemTables {
         let mut tables = FxHashMap::default();
@@ -205,7 +236,7 @@ impl SystemTables {
             let lower = name.to_ascii_lowercase();
             if is_system_table(&lower) && !tables.contains_key(&lower) {
                 let schema = schema_of(&lower);
-                let cols = materialize(sink, wlm, &lower);
+                let cols = materialize(sink, wlm, faults, &lower);
                 tables.insert(lower, (schema, cols));
             }
         }
@@ -289,7 +320,34 @@ mod tests {
         assert!(is_system_table("svl_query_metrics"));
         assert!(is_system_table("stl_wlm_query"));
         assert!(is_system_table("STV_WLM_SERVICE_CLASS_STATE"));
+        assert!(is_system_table("stl_fault_event"));
         assert!(!is_system_table("users"));
+    }
+
+    #[test]
+    fn stl_fault_event_materializes_the_registry_ring() {
+        use redsim_faultkit::{fp, ErrClass, FaultRegistry, FaultSpec, Outcome};
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let reg = FaultRegistry::new(3);
+        reg.configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).times(2));
+        for _ in 0..3 {
+            let _ = reg.fire(fp::S3_GET);
+        }
+        assert!(matches!(reg.fire(fp::S3_GET), Outcome::Proceed));
+        let sys = SystemTables::capture(&sink, None, Some(&reg), &["stl_fault_event"]);
+        let out = sys
+            .scan_slice("stl_fault_event", 0, &[0, 2, 3, 4], &ScanPredicate::default())
+            .unwrap();
+        let b = &out.batches[0];
+        assert_eq!(b[0].len(), 2, "one row per injected fault");
+        assert_eq!(b[1].get(0).as_str(), Some("s3.get"));
+        assert_eq!(b[2].get(0).as_str(), Some("err"));
+        assert_eq!(b[3].get(0).as_str(), Some("throttle"));
+        // Without a registry the table is empty but bindable.
+        let sys2 = SystemTables::capture(&sink, None, None, &["stl_fault_event"]);
+        let empty =
+            sys2.scan_slice("stl_fault_event", 0, &[0], &ScanPredicate::default()).unwrap();
+        assert!(empty.batches.is_empty());
     }
 
     #[test]
@@ -305,6 +363,7 @@ mod tests {
         let sys = SystemTables::capture(
             &sink,
             Some(&ctl),
+            None,
             &["stl_wlm_query", "stv_wlm_service_class_state"],
         );
         let wq =
@@ -318,7 +377,7 @@ mod tests {
             .unwrap();
         assert_eq!(sc.batches[0][0].len(), 2, "q1 + sqa lane rows");
         // Without a controller the STV table is empty but bindable.
-        let sys2 = SystemTables::capture(&sink, None, &["stv_wlm_service_class_state"]);
+        let sys2 = SystemTables::capture(&sink, None, None, &["stv_wlm_service_class_state"]);
         let empty = sys2
             .scan_slice("stv_wlm_service_class_state", 0, &[0], &ScanPredicate::default())
             .unwrap();
@@ -328,7 +387,7 @@ mod tests {
     #[test]
     fn stl_query_materializes_one_row_per_span() {
         let sink = sink_with_queries(3);
-        let sys = SystemTables::capture(&sink, None, &["stl_query"]);
+        let sys = SystemTables::capture(&sink, None, None, &["stl_query"]);
         let out = sys.scan_slice("stl_query", 0, &[0, 5], &ScanPredicate::default()).unwrap();
         assert_eq!(out.batches.len(), 1);
         let ids = &out.batches[0][0];
@@ -341,7 +400,7 @@ mod tests {
     #[test]
     fn stl_explain_splits_plan_lines() {
         let sink = sink_with_queries(1);
-        let sys = SystemTables::capture(&sink, None, &["stl_explain"]);
+        let sys = SystemTables::capture(&sink, None, None, &["stl_explain"]);
         let out = sys.scan_slice("stl_explain", 0, &[0, 1, 2], &ScanPredicate::default()).unwrap();
         let steps = &out.batches[0][1];
         assert_eq!(steps.len(), 2, "two plan lines → two rows");
@@ -351,7 +410,7 @@ mod tests {
     #[test]
     fn empty_sink_yields_empty_tables() {
         let sink = Arc::new(TraceSink::with_level(LVL_CORE));
-        let sys = SystemTables::capture(&sink, None, &["svl_query_metrics"]);
+        let sys = SystemTables::capture(&sink, None, None, &["svl_query_metrics"]);
         let out =
             sys.scan_slice("svl_query_metrics", 0, &[0], &ScanPredicate::default()).unwrap();
         assert!(out.batches.is_empty());

@@ -185,6 +185,36 @@ impl TraceSink {
         self.push(record);
     }
 
+    /// Record a standalone, already-timed **root** span — for intervals
+    /// measured where no parent guard exists (e.g. a `retry.wait`
+    /// backoff sleep inside the retry loop). The record is backdated by
+    /// `dur_ns` from now and gets its own trace id, so trace
+    /// well-formedness invariants (roots have `trace == id`, children
+    /// nest) are unaffected.
+    pub fn span_completed(
+        &self,
+        level: u8,
+        name: &'static str,
+        dur_ns: u64,
+        attrs: &[(&'static str, AttrValue)],
+    ) {
+        if level > self.level {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_ns();
+        let dur_ns = dur_ns.min(now);
+        self.push(SpanRecord {
+            id,
+            parent: 0,
+            trace: id,
+            name,
+            start_ns: now - dur_ns,
+            dur_ns,
+            attrs: attrs.to_vec(),
+        });
+    }
+
     pub(crate) fn push_completed(
         &self,
         level: u8,

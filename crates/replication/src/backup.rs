@@ -11,7 +11,7 @@ use crate::mirror::ReplicatedStore;
 use crate::s3sim::S3Sim;
 use redsim_testkit::sync::Mutex;
 use redsim_common::codec::{Reader, Writer};
-use redsim_common::{Result, RsError};
+use redsim_common::{Result, RetryPolicy, RsError};
 use redsim_storage::BlockId;
 use std::sync::Arc;
 
@@ -47,6 +47,8 @@ pub struct BackupManager {
     snapshots: Mutex<Vec<SnapshotInfo>>,
     /// Keep at most this many system snapshots (aging).
     system_retention: usize,
+    /// Retry policy for S3 uploads / DR copies during snapshots.
+    retry: RetryPolicy,
 }
 
 impl BackupManager {
@@ -65,7 +67,14 @@ impl BackupManager {
             seq: Mutex::new(0),
             snapshots: Mutex::new(Vec::new()),
             system_retention: system_retention.max(1),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the snapshot retry policy (builder).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     fn manifest_key(&self, id: &str) -> String {
@@ -93,7 +102,8 @@ impl BackupManager {
             let key = self.block_key(b);
             if !self.s3.exists(&self.region, &key) {
                 let blk = store.get_any(b)?;
-                self.s3.put(&self.region, &key, blk.serialize());
+                self.retry
+                    .run("s3.put", || self.s3.put_checked(&self.region, &key, blk.serialize()))?;
                 uploaded += 1;
             }
         }
@@ -115,14 +125,18 @@ impl BackupManager {
             w.put_u64(b.0);
         }
         let manifest = w.into_bytes();
-        self.s3.put(&self.region, &self.manifest_key(id), manifest.clone());
+        self.retry.run("s3.put", || {
+            self.s3.put_checked(&self.region, &self.manifest_key(id), manifest.clone())
+        })?;
         if let Some(dr) = &self.dr_region {
             // DR copies: manifest + any block not yet in the second region.
-            self.s3.put(dr, &self.manifest_key(id), manifest);
+            self.retry
+                .run("s3.put", || self.s3.put_checked(dr, &self.manifest_key(id), manifest.clone()))?;
             for &b in &blocks {
                 let key = self.block_key(b);
                 if !self.s3.exists(dr, &key) {
-                    self.s3.copy_object(&self.region, dr, &key)?;
+                    self.retry
+                        .run("s3.copy_object", || self.s3.copy_object(&self.region, dr, &key))?;
                 }
             }
         }

@@ -22,12 +22,21 @@
 //!   the rest, so "the database \[can\] be opened for SQL operations after
 //!   metadata and catalog restoration".
 
+//! Fault seams (this PR's escalator substrate): every S3-touching path
+//! consults a named `faultkit` failpoint and is wrapped in a typed
+//! retry loop — [`inject`] holds the class→`RsError` mapping and the
+//! `obs` glue — so transient faults are absorbed with backoff while
+//! permanent ones surface typed, per the paper's §5 "escalators, not
+//! elevators".
+
 pub mod backup;
+pub mod inject;
 pub mod mirror;
 pub mod restore;
 pub mod s3sim;
 
 pub use backup::{BackupManager, SnapshotInfo, SnapshotKind};
+pub use inject::{fault_error, fire, fire_no_skip, retry_observer, Flow};
 pub use mirror::{NodeStore, ReplicatedStore};
 pub use restore::StreamingRestoreStore;
 pub use s3sim::S3Sim;

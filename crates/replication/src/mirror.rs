@@ -1,9 +1,11 @@
 //! Synchronous primary/secondary block mirroring with cohort placement.
 
+use crate::inject::{self, Flow};
 use crate::s3sim::S3Sim;
+use redsim_faultkit::{fp, FaultRegistry};
 use redsim_obs::{TraceSink, LVL_PHASE};
 use redsim_testkit::sync::{Mutex, RwLock};
-use redsim_common::{FxHashMap, Result, RsError};
+use redsim_common::{FxHashMap, Result, RetryPolicy, RsError};
 use redsim_distribution::{CohortMap, NodeId};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};
 use std::sync::Arc;
@@ -33,6 +35,8 @@ pub struct ReplicatedStore {
     /// up as the `mirror.backup_backlog` gauge; drains and
     /// re-replication as `mirror.*` spans/counters.
     trace: RwLock<Option<Arc<TraceSink>>>,
+    /// Retry policy for every S3-touching and failpoint-armed path.
+    retry: RwLock<RetryPolicy>,
 }
 
 impl ReplicatedStore {
@@ -55,6 +59,7 @@ impl ReplicatedStore {
             secondary_reads: Mutex::new(0),
             s3_reads: Mutex::new(0),
             trace: RwLock::new(None),
+            retry: RwLock::new(RetryPolicy::default()),
         }))
     }
 
@@ -62,6 +67,21 @@ impl ReplicatedStore {
     /// behind an `Arc`, so this is interior rather than a builder).
     pub fn set_trace(&self, sink: Arc<TraceSink>) {
         *self.trace.write() = Some(sink);
+    }
+
+    /// Replace the retry policy (the cluster plumbs
+    /// `ClusterConfig::retry` here at launch).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    /// The failpoint registry shared through the S3 handle.
+    pub fn faults(&self) -> &Arc<FaultRegistry> {
+        self.s3.faults()
+    }
+
+    fn sink_opt(&self) -> Option<Arc<TraceSink>> {
+        self.trace.read().clone()
     }
 
     fn with_sink(&self, f: impl FnOnce(&Arc<TraceSink>)) {
@@ -111,9 +131,29 @@ impl ReplicatedStore {
                     .find(|&m| m != node && self.node_alive(m));
             }
         }
-        self.nodes[node.0 as usize].put(block.clone())?;
+        let retry = *self.retry.read();
+        let sink = self.sink_opt();
+        let faults = self.faults();
+        // Primary replica, behind the `mirror.write.primary` failpoint.
+        // A `drop` action skips the local write but keeps the placement:
+        // reads then fall through to the secondary (the escalator).
+        retry.run_observed(
+            "mirror.write.primary",
+            || match inject::fire(faults, sink.as_ref(), fp::MIRROR_WRITE_PRIMARY)? {
+                Flow::Skip => Ok(()),
+                Flow::Continue => self.nodes[node.0 as usize].put(block.clone()),
+            },
+            inject::retry_observer(sink.clone()),
+        )?;
         if let Some(s) = secondary {
-            self.nodes[s.0 as usize].put(block)?;
+            retry.run_observed(
+                "mirror.write.secondary",
+                || match inject::fire(faults, sink.as_ref(), fp::MIRROR_WRITE_SECONDARY)? {
+                    Flow::Skip => Ok(()),
+                    Flow::Continue => self.nodes[s.0 as usize].put(block.clone()),
+                },
+                inject::retry_observer(sink.clone()),
+            )?;
         }
         self.placements.write().insert(id.0, Placement { primary: node, secondary });
         self.backup_queue.lock().push(id);
@@ -140,9 +180,25 @@ impl ReplicatedStore {
             }
         }
         // Page-fault from S3 ("making media failures transparent").
-        let bytes = self.s3.get(&self.region, &self.s3_key(id)).map_err(|_| {
-            RsError::Replication(format!("{id} unavailable on all replicas and S3"))
-        })?;
+        // Transient S3 faults (throttles, injected flakiness) are
+        // absorbed by the retry loop; a genuinely missing object keeps
+        // the legacy "unavailable everywhere" replication error, while
+        // an exhausted retry budget surfaces its own class (THROTTLE,
+        // FAULT, ...) so callers see the true failure.
+        let retry = *self.retry.read();
+        let key = self.s3_key(id);
+        let bytes = retry
+            .run_observed(
+                "s3.get",
+                || self.s3.get(&self.region, &key),
+                inject::retry_observer(self.sink_opt()),
+            )
+            .map_err(|e| match e {
+                RsError::NotFound(_) => {
+                    RsError::Replication(format!("{id} unavailable on all replicas and S3"))
+                }
+                other => other,
+            })?;
         *self.s3_reads.lock() += 1;
         Ok(Arc::new(EncodedBlock::deserialize(&bytes)?))
     }
@@ -157,30 +213,71 @@ impl ReplicatedStore {
             Some(t) => t.span(LVL_PHASE, "mirror.backup_drain"),
             None => redsim_obs::Span::disabled(),
         };
+        let retry = *self.retry.read();
+        let sink = self.sink_opt();
+        let faults = self.faults();
         let mut uploaded = 0;
-        for id in pending {
+        let mut requeue: Vec<BlockId> = Vec::new();
+        let mut failure: Option<RsError> = None;
+        let mut iter = pending.into_iter();
+        for id in iter.by_ref() {
             let key = self.s3_key(id);
             if self.s3.exists(&self.region, &key) {
                 continue; // incremental: S3 already has it
             }
-            match self.get_any(id) {
-                Ok(block) => {
-                    self.s3.put(&self.region, &key, block.serialize());
-                    uploaded += 1;
+            let block = match self.get_any(id) {
+                Ok(b) => b,
+                Err(_) if !self.placements.read().contains_key(&id.0) => {
+                    continue; // deleted before upload; skip for good
                 }
-                Err(_) => {
-                    // Deleted before upload; skip.
+                Err(e) => {
+                    // Still placed but unreadable right now (e.g. S3
+                    // flakiness past the retry budget while both
+                    // replicas are down): keep it queued, surface typed.
+                    requeue.push(id);
+                    failure = Some(e);
+                    break;
+                }
+            };
+            let res = retry.run_observed(
+                "mirror.backup_drain",
+                || match inject::fire(faults, sink.as_ref(), fp::MIRROR_BACKUP_DRAIN)? {
+                    Flow::Skip => Ok(false), // stays queued for the next drain
+                    Flow::Continue => {
+                        self.s3.put_checked(&self.region, &key, block.serialize())?;
+                        Ok(true)
+                    }
+                },
+                inject::retry_observer(sink.clone()),
+            );
+            match res {
+                Ok(true) => uploaded += 1,
+                Ok(false) => requeue.push(id),
+                Err(e) => {
+                    requeue.push(id);
+                    failure = Some(e);
+                    break;
                 }
             }
+        }
+        // Anything unprocessed (skip, failure, or never reached) goes
+        // back on the queue — a failed drain never loses durability work.
+        requeue.extend(iter);
+        if !requeue.is_empty() {
+            self.backup_queue.lock().extend(requeue);
         }
         if span.is_recording() {
             span.attr("queued", requested);
             span.attr("uploaded", uploaded);
+            span.attr("failed", failure.is_some());
         }
         span.finish();
         self.with_sink(|t| t.counter("mirror.blocks_backed_up").add(uploaded as u64));
         self.publish_backlog();
-        Ok(uploaded)
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(uploaded),
+        }
     }
 
     /// Blocks still awaiting S3 upload (durability-window accounting).
@@ -189,16 +286,34 @@ impl ReplicatedStore {
     }
 
     /// Fail a node: local data evaporates, reads fall through.
-    pub fn kill_node(&self, node: NodeId) {
-        self.alive.write()[node.0 as usize] = false;
+    /// Idempotent — killing an already-dead node is a no-op and returns
+    /// `false`, so chaos schedules with repeated kills can't double-count
+    /// failures or skew re-replication accounting.
+    pub fn kill_node(&self, node: NodeId) -> bool {
+        let mut alive = self.alive.write();
+        if !alive[node.0 as usize] {
+            return false;
+        }
+        alive[node.0 as usize] = false;
+        true
     }
 
-    /// Bring a (replaced) node back empty.
-    pub fn revive_node(&self, node: NodeId) {
-        // The replacement arrives blank.
-        let fresh = Arc::new(MemBlockStore::new());
-        // Safety: we can't swap the Arc in-place without unsafe; instead
-        // clear by deleting known blocks hosted there.
+    /// Bring a (replaced) node back empty. Idempotent — reviving a node
+    /// that is already alive is a no-op and returns `false`. (The old
+    /// behavior deleted the live node's hosted blocks, silently
+    /// destroying replicas and skewing `fallthrough_stats`.)
+    pub fn revive_node(&self, node: NodeId) -> bool {
+        {
+            let mut alive = self.alive.write();
+            if alive[node.0 as usize] {
+                return false;
+            }
+            // Flip aliveness under the lock; the block wipe below races
+            // only with reads, which treat missing blocks as fall-through.
+            alive[node.0 as usize] = true;
+        }
+        // The replacement arrives blank: clear blocks the dead incarnation
+        // hosted (we can't swap the store Arc in-place without unsafe).
         let placements = self.placements.read();
         for (&idraw, p) in placements.iter() {
             if p.primary == node || p.secondary == Some(node) {
@@ -206,8 +321,7 @@ impl ReplicatedStore {
             }
         }
         drop(placements);
-        let _ = fresh; // replacement modeled by the deletes above
-        self.alive.write()[node.0 as usize] = true;
+        true
     }
 
     /// Re-replicate every block that lost a replica on `failed`.
@@ -225,11 +339,26 @@ impl ReplicatedStore {
             .filter(|(_, p)| p.primary == failed || p.secondary == Some(failed))
             .map(|(&id, &p)| (id, p))
             .collect();
+        let retry = *self.retry.read();
+        let sink = self.sink_opt();
+        let faults = self.faults();
         let mut blocks = 0usize;
         let mut bytes = 0u64;
         for (idraw, old) in affected {
             let id = BlockId(idraw);
-            let block = self.get_any(id)?;
+            // `mirror.re_replicate` + retry wrap the block read; a
+            // `drop` action skips this block (it stays under-replicated
+            // until the next pass), transient errors are absorbed, and
+            // persistent ones surface typed with partial progress kept.
+            let fetched = retry.run_observed(
+                "mirror.re_replicate",
+                || match inject::fire(faults, sink.as_ref(), fp::MIRROR_RE_REPLICATE)? {
+                    Flow::Skip => Ok(None),
+                    Flow::Continue => self.get_any(id).map(Some),
+                },
+                inject::retry_observer(sink.clone()),
+            )?;
+            let Some(block) = fetched else { continue };
             // New primary: the survivor; new secondary: another live
             // cohort member.
             let survivor = if old.primary == failed {
@@ -460,6 +589,125 @@ mod tests {
         store.drain_backup_queue().unwrap();
         store.kill_node(NodeId(0));
         assert!(store.get_any(id).is_ok(), "page-faulted from S3");
+    }
+
+    #[test]
+    fn kill_and_revive_are_idempotent() {
+        use redsim_testkit::rng::{Pcg32, Rng};
+        let (_s3, store) = setup(4);
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![8; 16]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        let p = store.placement_of(id).unwrap();
+        let sec = p.secondary.unwrap();
+
+        // Regression: revive-of-live used to wipe the live node's hosted
+        // blocks, silently destroying replicas and skewing fallthrough
+        // stats. It must be a no-op now.
+        assert!(!store.revive_node(NodeId(0)));
+        assert!(store.nodes[0].contains(id), "revive of a live node must not destroy replicas");
+        store.get_any(id).unwrap();
+        assert_eq!(store.fallthrough_stats(), (0, 0), "read served from the primary");
+
+        // Double-kill: the second call is a no-op.
+        assert!(store.kill_node(NodeId(0)));
+        assert!(!store.kill_node(NodeId(0)));
+        let (blocks, _) = store.re_replicate(NodeId(0)).unwrap();
+        assert_eq!(blocks, 1, "re-replication counts each block once despite double-kill");
+
+        // Revive exactly once; a second revive is a no-op and must not
+        // touch the re-replicated copies.
+        assert!(store.revive_node(NodeId(0)));
+        assert!(!store.revive_node(NodeId(0)));
+        assert!(store.nodes[sec.0 as usize].contains(id));
+        assert_eq!(store.get_any(id).unwrap().payload, vec![8; 16]);
+
+        // Randomized kill/revive storm: accounting never drifts.
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut alive = [true; 4];
+        for _ in 0..200 {
+            let n = rng.gen_range(0u32..4);
+            if rng.gen_bool(0.5) {
+                assert_eq!(store.kill_node(NodeId(n)), alive[n as usize]);
+                alive[n as usize] = false;
+            } else {
+                assert_eq!(store.revive_node(NodeId(n)), !alive[n as usize]);
+                alive[n as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn get_any_retries_transient_s3_faults() {
+        use redsim_faultkit::{fp, ErrClass, FaultSpec};
+        let (s3, store) = setup(2);
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![4; 32]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        store.drain_backup_queue().unwrap();
+        store.kill_node(NodeId(0));
+        store.kill_node(store.placement_of(id).unwrap().secondary.unwrap());
+        // First two S3 GETs throttle, then S3 recovers: the retry loop
+        // must absorb the transient and serve the read.
+        s3.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).times(2));
+        assert_eq!(store.get_any(id).unwrap().payload, vec![4; 32]);
+        assert_eq!(s3.faults().injected_total(), 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_throttle_not_a_hang() {
+        use redsim_faultkit::{fp, ErrClass, FaultSpec};
+        use std::time::{Duration, Instant};
+        let (s3, store) = setup(2);
+        let ns = store.node_store(NodeId(0));
+        let b = block(vec![4; 32]);
+        let id = b.id;
+        ns.put(b).unwrap();
+        store.drain_backup_queue().unwrap();
+        store.kill_node(NodeId(0));
+        store.kill_node(store.placement_of(id).unwrap().secondary.unwrap());
+        store.set_retry_policy(
+            redsim_common::RetryPolicy::default()
+                .with_max_attempts(4)
+                .with_delays(Duration::from_micros(100), Duration::from_millis(1))
+                .with_deadline(Duration::from_millis(200)),
+        );
+        // Permanent throttling: typed THROTTLE after the budget, fast.
+        s3.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle));
+        let t0 = Instant::now();
+        let err = store.get_any(id).unwrap_err();
+        assert_eq!(err.code(), "THROTTLE", "{err}");
+        assert!(err.to_string().contains("exhausted"), "{err}");
+        assert!(t0.elapsed() < Duration::from_secs(2), "no hang: {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn drain_requeues_on_failure_and_recovers() {
+        use redsim_faultkit::{fp, ErrClass, FaultSpec};
+        use std::time::Duration;
+        let (s3, store) = setup(2);
+        store.set_retry_policy(
+            redsim_common::RetryPolicy::default()
+                .with_max_attempts(2)
+                .with_delays(Duration::from_micros(100), Duration::from_millis(1)),
+        );
+        let ns = store.node_store(NodeId(0));
+        for i in 0..6u8 {
+            ns.put(block(vec![i; 8])).unwrap();
+        }
+        assert_eq!(store.backup_backlog(), 6);
+        // Persistent put failures: the drain surfaces a typed error and
+        // keeps everything queued (no lost durability work).
+        s3.faults().configure(fp::S3_PUT, FaultSpec::err(ErrClass::Throttle));
+        let err = store.drain_backup_queue().unwrap_err();
+        assert_eq!(err.code(), "THROTTLE");
+        assert_eq!(store.backup_backlog(), 6, "failed drain must requeue");
+        // S3 recovers: the next drain finishes the job.
+        s3.faults().clear(fp::S3_PUT);
+        assert_eq!(store.drain_backup_queue().unwrap(), 6);
+        assert_eq!(store.backup_backlog(), 0);
     }
 
     #[test]

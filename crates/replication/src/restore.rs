@@ -8,10 +8,12 @@
 //! catalog restoration, but while blocks were still being brought down
 //! in background."
 
+use crate::inject;
 use crate::s3sim::S3Sim;
+use redsim_faultkit::fp;
 use redsim_obs::{AttrValue, TraceSink, LVL_PHASE};
 use redsim_testkit::sync::Mutex;
-use redsim_common::{Result, RsError};
+use redsim_common::{Result, RetryPolicy, RsError};
 use redsim_storage::{BlockId, BlockStore, EncodedBlock, MemBlockStore};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -30,6 +32,8 @@ pub struct StreamingRestoreStore {
     page_faults: Mutex<u64>,
     /// Optional telemetry sink (the owning cluster's).
     trace: Option<Arc<TraceSink>>,
+    /// Retry policy for page-faulting fetches from S3.
+    retry: RetryPolicy,
 }
 
 impl StreamingRestoreStore {
@@ -51,6 +55,7 @@ impl StreamingRestoreStore {
             total_blocks,
             page_faults: Mutex::new(0),
             trace: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -58,6 +63,12 @@ impl StreamingRestoreStore {
     /// round-trips are recorded as `restore.*` spans/counters on it.
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Replace the fetch retry policy (builder).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -69,9 +80,29 @@ impl StreamingRestoreStore {
         if let Some(t) = &self.trace {
             t.counter("restore.s3_gets").incr();
         }
-        let bytes = self.s3.get(&self.region, &self.key(id)).map_err(|_| {
-            RsError::Replication(format!("{id} missing from snapshot bucket"))
-        })?;
+        // The `restore.page_fault` failpoint + the retry loop sit around
+        // the S3 round-trip: transient flakiness during a streaming
+        // restore is absorbed, a genuinely missing object keeps the
+        // legacy "missing from snapshot bucket" replication error, and
+        // an exhausted budget surfaces its own class (e.g. THROTTLE).
+        let key = self.key(id);
+        let faults = self.s3.faults();
+        let bytes = self
+            .retry
+            .run_observed(
+                "restore.page_fault",
+                || {
+                    inject::fire_no_skip(faults, self.trace.as_ref(), fp::RESTORE_PAGE_FAULT)?;
+                    self.s3.get(&self.region, &key)
+                },
+                inject::retry_observer(self.trace.clone()),
+            )
+            .map_err(|e| match e {
+                RsError::NotFound(_) => {
+                    RsError::Replication(format!("{id} missing from snapshot bucket"))
+                }
+                other => other,
+            })?;
         let block = EncodedBlock::deserialize(&bytes)?;
         self.local.put(block)?;
         self.local.get(id)
@@ -276,6 +307,47 @@ mod tests {
         assert_eq!(faults.len(), 1);
         assert!(!sink.records_named("restore.hydrate_step").is_empty());
         assert_eq!(sink.open_spans(), 0, "all spans closed");
+    }
+
+    #[test]
+    fn streaming_restore_rides_through_s3_flakiness() {
+        use redsim_faultkit::{fp, ErrClass, FaultSpec};
+        let s3 = Arc::new(S3Sim::new());
+        let ids = upload(&s3, 12);
+        // 30% of S3 GETs throttle (seeded, replayable): hydration and
+        // demand reads must complete via retries.
+        s3.faults().reseed(7);
+        s3.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).prob(0.3));
+        let store = StreamingRestoreStore::open(Arc::clone(&s3), "r", "b", ids.clone());
+        assert_eq!(store.hydrate_all().unwrap(), 12);
+        for id in ids {
+            assert_eq!(store.get(id).unwrap().id, id);
+        }
+        assert!(s3.faults().injected_total() > 0, "the schedule must actually inject");
+    }
+
+    #[test]
+    fn page_fault_failpoint_injects_typed_and_recovers() {
+        use redsim_faultkit::{fp, ErrClass, FaultSpec};
+        use redsim_common::RetryPolicy;
+        use std::time::Duration;
+        let s3 = Arc::new(S3Sim::new());
+        let ids = upload(&s3, 2);
+        let store = StreamingRestoreStore::open(Arc::clone(&s3), "r", "b", ids.clone())
+            .with_retry(
+                RetryPolicy::default()
+                    .with_max_attempts(3)
+                    .with_delays(Duration::from_micros(100), Duration::from_millis(1)),
+            );
+        // Two transient faults then recovery: absorbed.
+        s3.faults().configure(fp::RESTORE_PAGE_FAULT, FaultSpec::err(ErrClass::Fault).times(2));
+        assert!(store.get(ids[0]).is_ok());
+        // Persistent fault: typed FAULT after the budget, never a hang.
+        s3.faults().configure(fp::RESTORE_PAGE_FAULT, FaultSpec::err(ErrClass::Fault));
+        let err = store.get(ids[1]).unwrap_err();
+        assert_eq!(err.code(), "FAULT", "{err}");
+        s3.faults().clear(fp::RESTORE_PAGE_FAULT);
+        assert!(store.get(ids[1]).is_ok(), "recovers once the failpoint clears");
     }
 
     #[test]

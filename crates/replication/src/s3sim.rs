@@ -5,6 +5,9 @@
 //! modeled as absolute ("designed to provide 99.9999999% durability")
 //! unless a test explicitly injects object loss.
 
+use crate::inject::{self, Flow};
+use redsim_faultkit::{fp, FaultRegistry};
+use redsim_obs::TraceSink;
 use redsim_testkit::sync::RwLock;
 use redsim_common::{Result, RsError};
 use std::collections::BTreeMap;
@@ -21,9 +24,29 @@ struct Region {
 }
 
 /// The simulated S3 service.
-#[derive(Default)]
+///
+/// Owns the cluster's [`FaultRegistry`]: every layer riding on this S3
+/// handle (mirroring, backup, streaming restore, the COPY loader)
+/// shares the same failpoint configuration and seeded trigger stream,
+/// so one `RSIM_FAILPOINTS`/`RSIM_SEED` pair configures — and replays —
+/// a whole chaos schedule.
 pub struct S3Sim {
     regions: RwLock<BTreeMap<String, Region>>,
+    faults: Arc<FaultRegistry>,
+    /// Optional telemetry sink for `fault.injected` at the s3.* seams
+    /// (attached by the owning cluster; last writer wins when clusters
+    /// share an S3, which only happens in DR drills).
+    trace: RwLock<Option<Arc<TraceSink>>>,
+}
+
+impl Default for S3Sim {
+    fn default() -> Self {
+        S3Sim {
+            regions: RwLock::new(BTreeMap::new()),
+            faults: Arc::new(FaultRegistry::from_env()),
+            trace: RwLock::new(None),
+        }
+    }
 }
 
 /// Traffic counters for one region.
@@ -41,7 +64,31 @@ impl S3Sim {
         Self::default()
     }
 
-    /// Store an object (overwrites).
+    /// Construct with an explicit fault registry (tests that want a
+    /// fixed seed regardless of the environment).
+    pub fn with_faults(faults: Arc<FaultRegistry>) -> Self {
+        S3Sim { regions: RwLock::new(BTreeMap::new()), faults, trace: RwLock::new(None) }
+    }
+
+    /// The shared failpoint registry for everything riding on this S3.
+    pub fn faults(&self) -> &Arc<FaultRegistry> {
+        &self.faults
+    }
+
+    /// Attach a telemetry sink so s3.* failpoint firings bump
+    /// `fault.injected`.
+    pub fn set_trace(&self, sink: Arc<TraceSink>) {
+        *self.trace.write() = Some(sink);
+    }
+
+    fn sink(&self) -> Option<Arc<TraceSink>> {
+        self.trace.read().clone()
+    }
+
+    /// Store an object (overwrites). Infallible by design: this is the
+    /// raw staging primitive used by tests (`put_s3_object`) and
+    /// fixtures. Production write paths go through [`Self::put_checked`],
+    /// which honors the `s3.put` failpoint.
     pub fn put(&self, region: &str, key: &str, data: Vec<u8>) {
         let mut regions = self.regions.write();
         let r = regions.entry(region.to_string()).or_default();
@@ -50,8 +97,23 @@ impl S3Sim {
         r.objects.insert(key.to_string(), Arc::new(data));
     }
 
-    /// Fetch an object.
+    /// Store an object through the `s3.put` failpoint. A `drop` action
+    /// silently loses the write (the object never lands) — the
+    /// durability seam multi-fault tests exercise.
+    pub fn put_checked(&self, region: &str, key: &str, data: Vec<u8>) -> Result<()> {
+        match inject::fire(&self.faults, self.sink().as_ref(), fp::S3_PUT)? {
+            Flow::Skip => Ok(()), // lost write
+            Flow::Continue => {
+                self.put(region, key, data);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fetch an object (subject to the `s3.get` failpoint; a `drop`
+    /// action surfaces as a transient lost-response error).
     pub fn get(&self, region: &str, key: &str) -> Result<Arc<Vec<u8>>> {
+        inject::fire_no_skip(&self.faults, self.sink().as_ref(), fp::S3_GET)?;
         let mut regions = self.regions.write();
         let r = regions
             .get_mut(region)
@@ -91,7 +153,13 @@ impl S3Sim {
     }
 
     /// Copy one object across regions (disaster-recovery replication).
+    /// Subject to `s3.copy_object`; a `drop` action silently skips the
+    /// copy (the DR region misses the object until the next snapshot).
     pub fn copy_object(&self, from_region: &str, to_region: &str, key: &str) -> Result<()> {
+        match inject::fire(&self.faults, self.sink().as_ref(), fp::S3_COPY_OBJECT)? {
+            Flow::Skip => return Ok(()),
+            Flow::Continue => {}
+        }
         let data = self.get(from_region, key)?;
         let mut regions = self.regions.write();
         let dst = regions.entry(to_region.to_string()).or_default();
@@ -169,5 +237,40 @@ mod tests {
         s3.put("r", "k", vec![1]);
         s3.inject_object_loss("r", "k");
         assert!(s3.get("r", "k").is_err());
+    }
+
+    #[test]
+    fn get_failpoint_injects_typed_errors() {
+        use redsim_faultkit::{ErrClass, FaultSpec};
+        let s3 = S3Sim::new();
+        s3.put("r", "k", vec![1]);
+        s3.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).times(2));
+        assert_eq!(s3.get("r", "k").unwrap_err().code(), "THROTTLE");
+        assert_eq!(s3.get("r", "k").unwrap_err().code(), "THROTTLE");
+        // Budget exhausted: the failpoint disarmed itself.
+        assert_eq!(*s3.get("r", "k").unwrap(), vec![1]);
+        assert_eq!(s3.faults().injected_total(), 2);
+    }
+
+    #[test]
+    fn put_checked_drop_loses_the_write() {
+        use redsim_faultkit::FaultSpec;
+        let s3 = S3Sim::new();
+        s3.faults().configure(fp::S3_PUT, FaultSpec::drop_op().once());
+        s3.put_checked("r", "lost", vec![1]).unwrap();
+        assert!(!s3.exists("r", "lost"), "dropped write must not land");
+        s3.put_checked("r", "kept", vec![2]).unwrap();
+        assert!(s3.exists("r", "kept"));
+    }
+
+    #[test]
+    fn copy_object_failpoint() {
+        use redsim_faultkit::{ErrClass, FaultSpec};
+        let s3 = S3Sim::new();
+        s3.put("a", "k", vec![7]);
+        s3.faults().configure(fp::S3_COPY_OBJECT, FaultSpec::err(ErrClass::Repl).once());
+        assert_eq!(s3.copy_object("a", "b", "k").unwrap_err().code(), "REPL");
+        s3.copy_object("a", "b", "k").unwrap();
+        assert_eq!(*s3.get("b", "k").unwrap(), vec![7]);
     }
 }

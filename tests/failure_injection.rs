@@ -3,10 +3,21 @@
 //! after loads; lose S3 objects; break crypto keys — every failure either
 //! degrades transparently or reports a typed error, never corrupts.
 
+use redshift_sim::common::RetryPolicy;
 use redshift_sim::core::{Cluster, ClusterConfig};
 use redshift_sim::distribution::NodeId;
+use redshift_sim::faultkit::{fp, ErrClass, FaultSpec};
 use redshift_sim::replication::SnapshotKind;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A retry policy tuned for tests: same budget as production, but
+/// microsecond backoff so exhaustion scenarios stay fast.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_delays(Duration::from_micros(50), Duration::from_millis(1))
+        .with_deadline(Duration::from_secs(2))
+}
 
 fn load(c: &Cluster, rows: usize) {
     c.execute("CREATE TABLE t (a BIGINT, s VARCHAR(64))").unwrap();
@@ -256,6 +267,100 @@ fn disaster_recovery_from_second_region() {
     while restored.hydrate_step(64).unwrap() > 0 {}
     let got = restored.query("SELECT SUM(a), COUNT(*) FROM t").unwrap().rows[0].clone();
     assert_eq!(checksum, got);
+}
+
+#[test]
+fn copy_rides_through_s3_flakiness() {
+    // §5 "escalators, not elevators": a flaky S3 (30% throttle on every
+    // GET) must not fail a COPY — the typed retry loop absorbs the
+    // transients and the load lands exactly once.
+    let c = Cluster::launch(
+        ClusterConfig::new("flaky-copy").nodes(2).slices_per_node(1).retry(fast_retry()),
+    )
+    .unwrap();
+    c.execute("CREATE TABLE t (a BIGINT, s VARCHAR(64))").unwrap();
+    let mut csv = String::new();
+    for i in 0..2_000 {
+        csv.push_str(&format!("{i},row-{i}\n"));
+    }
+    c.put_s3_object("d/1", csv.into_bytes());
+    c.faults().reseed(42);
+    c.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).prob(0.3));
+    c.faults().configure(fp::COPY_FETCH_OBJECT, FaultSpec::err(ErrClass::Throttle).prob(0.3));
+    c.execute("COPY t FROM 's3://d/'").unwrap();
+    assert!(c.faults().injected_total() > 0, "flakiness never struck");
+    c.faults().clear_all();
+    let n = c.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64().unwrap();
+    assert_eq!(n, 2_000, "retries must not duplicate or drop rows");
+    // The whole chaos run is auditable with plain SQL.
+    let ev = c.query("SELECT COUNT(*) FROM stl_fault_event").unwrap().rows[0]
+        .get(0)
+        .as_i64()
+        .unwrap();
+    assert!(ev > 0, "stl_fault_event must record the injections");
+}
+
+#[test]
+fn streaming_restore_completes_via_retries() {
+    // Streaming restore page-faults blocks from a flaky S3: every fault
+    // is retried and hydration still completes with exact data.
+    let c = Cluster::launch(ClusterConfig::new("flaky-rst").nodes(2).slices_per_node(1)).unwrap();
+    load(&c, 3_000);
+    c.create_snapshot("s", SnapshotKind::User).unwrap();
+    let before = c.query("SELECT COUNT(*), SUM(a) FROM t").unwrap().rows;
+    let restored = Cluster::restore_from_snapshot(
+        ClusterConfig::new("flaky-rst2").nodes(2).slices_per_node(1).retry(fast_retry()),
+        Arc::clone(c.s3()),
+        "us-east-1",
+        "flaky-rst",
+        "s",
+        None,
+    )
+    .unwrap();
+    // Arm the flakiness only once the catalog is open (the paper's
+    // "opened for SQL operations after metadata and catalog restoration").
+    restored.faults().reseed(7);
+    restored.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle).prob(0.3));
+    restored
+        .faults()
+        .configure(fp::RESTORE_PAGE_FAULT, FaultSpec::err(ErrClass::Repl).prob(0.3));
+    while restored.hydrate_step(32).unwrap() > 0 {}
+    assert!(restored.faults().injected_total() > 0, "flakiness never struck");
+    restored.faults().clear_all();
+    assert_eq!(restored.query("SELECT COUNT(*), SUM(a) FROM t").unwrap().rows, before);
+}
+
+#[test]
+fn retry_exhaustion_surfaces_throttle_not_a_hang() {
+    // A *permanently* throttling S3 exhausts the retry budget: the query
+    // fails in bounded time with the transient's own class (THROTTLE), so
+    // callers and the host manager can tell throttle storms from real
+    // faults. It must never hang or remap to a misleading class.
+    let c = Cluster::launch(
+        ClusterConfig::new("exh").nodes(1).slices_per_node(1).retry(fast_retry()),
+    )
+    .unwrap();
+    load(&c, 1_000);
+    c.create_snapshot("s", SnapshotKind::User).unwrap();
+    let restored = Cluster::restore_from_snapshot(
+        ClusterConfig::new("exh2").nodes(1).slices_per_node(1).retry(fast_retry()),
+        Arc::clone(c.s3()),
+        "us-east-1",
+        "exh",
+        "s",
+        None,
+    )
+    .unwrap();
+    restored.faults().configure(fp::S3_GET, FaultSpec::err(ErrClass::Throttle));
+    let t0 = std::time::Instant::now();
+    let err = restored.query("SELECT SUM(a) FROM t").unwrap_err();
+    assert_eq!(err.code(), "THROTTLE", "exhaustion must keep the transient class: {err}");
+    assert!(err.to_string().contains("exhausted"), "{err}");
+    assert!(t0.elapsed() < Duration::from_secs(8), "exhaustion hung: {:?}", t0.elapsed());
+    // Clearing the failpoint heals the cluster in place.
+    restored.faults().clear_all();
+    let n = restored.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64().unwrap();
+    assert_eq!(n, 1_000);
 }
 
 #[test]
