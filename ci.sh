@@ -68,13 +68,26 @@ echo "== wlm invariants (quick property pass) =="
 # reproduce any failure with RSIM_SEED=<seed> and the full suite.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties wlm_
 
-echo "== chaos invariants (quick property pass) =="
+echo "== chaos invariants, write seams armed (quick property pass) =="
 # Randomized COPY/SELECT/kill/revive/backup/restore schedules under
-# randomized transient failpoint configs: exact results or typed
-# retryable errors, the cluster heals once faults clear, no hangs.
+# randomized transient failpoint configs — including the write seams
+# (mirror.write.primary/secondary, s3.put), which transactional COPY
+# makes safe to arm: a load that fails mid-write rolls back block-for-
+# block, so exactness tracking asserts a failed COPY is observationally
+# invisible (same SELECTs, rows_estimate, loads_since_analyze,
+# copy.rows_loaded). Every op returns exact results or a typed
+# retryable error, the cluster heals once faults clear, no hangs.
 # Failing seeds are pinned in tests/properties.proptest-regressions;
 # replay with RSIM_SEED=<seed> (and RSIM_FAILPOINTS for ad-hoc configs).
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties chaos_
+
+echo "== write atomicity (failure-injection gate) =="
+# The pinned rollback scenarios: permanent mirror fault mid-COPY,
+# probabilistic write faults across a COPY batch, multi-object partial
+# parse, INSERT seal failure — each must leave pre-statement state
+# byte-identical (rows, estimates, counters, node-local bytes).
+cargo test -q --offline --test failure_injection copy_
+cargo test -q --offline --test failure_injection failed_
 
 echo "== benchdiff smoke (self-diff must pass, regression must fail) =="
 bd_dir=$(mktemp -d)

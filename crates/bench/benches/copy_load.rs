@@ -1,0 +1,47 @@
+//! COPY throughput bench — guards the write-transaction (snapshot /
+//! install-or-rollback) machinery against regressions on the happy
+//! path. The txn guard runs on *every* COPY, so its cost (cloning each
+//! touched slice's buffered tail + catalog counters) must stay in the
+//! noise relative to parse/encode/mirror work. `benchdiff` gates the
+//! p50 against the pre-change baseline (results/copy_load_baseline.csv).
+
+use redsim_core::{Cluster, ClusterConfig};
+use redsim_testkit::bench::Bench;
+
+const OBJECTS: usize = 4;
+const ROWS_PER_OBJECT: usize = 2_000;
+
+fn main() {
+    let mut b = Bench::new("copy_load");
+    let c = Cluster::launch(
+        ClusterConfig::new("copy-bench").nodes(2).slices_per_node(2),
+    )
+    .unwrap();
+    for o in 0..OBJECTS {
+        let mut csv = String::new();
+        for i in 0..ROWS_PER_OBJECT {
+            let v = o * ROWS_PER_OBJECT + i;
+            csv.push_str(&format!("{v},{},val-{v}\n", v * 3));
+        }
+        c.put_s3_object(&format!("load/{o}"), csv.into_bytes());
+    }
+
+    let mut g = b.group("copy");
+    g.sample_size(10);
+    g.throughput_elems((OBJECTS * ROWS_PER_OBJECT) as u64);
+    let mut n = 0u64;
+    g.bench_function("load_8k_rows_4_objects", |bch| {
+        bch.iter(|| {
+            n += 1;
+            let t = format!("t{n}");
+            c.execute(&format!(
+                "CREATE TABLE {t} (a BIGINT, b BIGINT, s VARCHAR(32))"
+            ))
+            .unwrap();
+            c.execute(&format!("COPY {t} FROM 's3://load/'")).unwrap();
+            c.execute(&format!("DROP TABLE {t}")).unwrap();
+        });
+    });
+    g.finish();
+    b.finish();
+}

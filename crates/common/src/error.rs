@@ -77,6 +77,33 @@ impl RsError {
         }
     }
 
+    /// Append context to the error's message while keeping its variant
+    /// (and therefore its [`code()`](RsError::code) and
+    /// [`is_retryable()`](RsError::is_retryable) classification). Used
+    /// by retry exhaustion and by COPY's seal-phase aggregation: a
+    /// THROTTLE that exhausted its budget must never remap to a fake
+    /// permanent error just because we enriched the message.
+    pub fn with_note(self, note: &str) -> RsError {
+        match self {
+            RsError::Parse(m) => RsError::Parse(m + note),
+            RsError::Analysis(m) => RsError::Analysis(m + note),
+            RsError::Plan(m) => RsError::Plan(m + note),
+            RsError::Execution(m) => RsError::Execution(m + note),
+            RsError::Storage(m) => RsError::Storage(m + note),
+            RsError::NotFound(m) => RsError::NotFound(m + note),
+            RsError::AlreadyExists(m) => RsError::AlreadyExists(m + note),
+            RsError::Codec(m) => RsError::Codec(m + note),
+            RsError::Replication(m) => RsError::Replication(m + note),
+            RsError::Crypto(m) => RsError::Crypto(m + note),
+            RsError::ControlPlane(m) => RsError::ControlPlane(m + note),
+            RsError::FaultInjected(m) => RsError::FaultInjected(m + note),
+            RsError::InvalidState(m) => RsError::InvalidState(m + note),
+            RsError::TxnConflict(m) => RsError::TxnConflict(m + note),
+            RsError::Unsupported(m) => RsError::Unsupported(m + note),
+            RsError::Throttled(m) => RsError::Throttled(m + note),
+        }
+    }
+
     /// Whether a retry loop may absorb this error.
     ///
     /// The classification is the contract between fault injection and

@@ -169,25 +169,7 @@ impl RetryPolicy {
 /// Append retry context to the exhausted error's message while keeping
 /// its variant (and therefore its `code()`).
 fn append_context(err: RsError, op: &str, attempts: u32, why: &str) -> RsError {
-    let note = format!(" (retry {why} exhausted after {attempts} attempts on {op})");
-    match err {
-        RsError::Parse(m) => RsError::Parse(m + &note),
-        RsError::Analysis(m) => RsError::Analysis(m + &note),
-        RsError::Plan(m) => RsError::Plan(m + &note),
-        RsError::Execution(m) => RsError::Execution(m + &note),
-        RsError::Storage(m) => RsError::Storage(m + &note),
-        RsError::NotFound(m) => RsError::NotFound(m + &note),
-        RsError::AlreadyExists(m) => RsError::AlreadyExists(m + &note),
-        RsError::Codec(m) => RsError::Codec(m + &note),
-        RsError::Replication(m) => RsError::Replication(m + &note),
-        RsError::Crypto(m) => RsError::Crypto(m + &note),
-        RsError::ControlPlane(m) => RsError::ControlPlane(m + &note),
-        RsError::FaultInjected(m) => RsError::FaultInjected(m + &note),
-        RsError::InvalidState(m) => RsError::InvalidState(m + &note),
-        RsError::TxnConflict(m) => RsError::TxnConflict(m + &note),
-        RsError::Unsupported(m) => RsError::Unsupported(m + &note),
-        RsError::Throttled(m) => RsError::Throttled(m + &note),
-    }
+    err.with_note(&format!(" (retry {why} exhausted after {attempts} attempts on {op})"))
 }
 
 /// splitmix64 — tiny, seedable, and already the workspace's seed-chain

@@ -13,7 +13,7 @@ use redsim_testkit::rng::Pcg32;
 use redsim_common::codec::{Reader, Writer};
 use redsim_common::{ColumnData, DataType, Result, Row, RsError, Schema, Value};
 use redsim_crypto::{ClusterKeyring, HsmSim, KeyId, WrappedKey};
-use redsim_distribution::{ClusterTopology, DistStyle, NodeId};
+use redsim_distribution::{ClusterTopology, DistStyle, NodeId, RowRouter};
 use redsim_engine::baseline;
 use redsim_engine::exec::{ExecMetrics, Executor, TableProvider};
 use redsim_engine::PlanCache;
@@ -23,7 +23,8 @@ use redsim_replication::{
 use redsim_sql::ast::{self, Statement};
 use redsim_sql::plan::OutCol;
 use redsim_sql::{optimizer, Binder};
-use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
+use redsim_storage::stats::TableStats;
+use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec, WriteCheckpoint};
 use redsim_storage::BlockStore;
 use std::sync::Arc;
 
@@ -203,6 +204,20 @@ impl Cluster {
     /// Configure it programmatically or via `RSIM_FAILPOINTS`.
     pub fn faults(&self) -> &Arc<redsim_faultkit::FaultRegistry> {
         self.s3.faults()
+    }
+
+    /// The catalog's cheap running row count for `table` (`None` for an
+    /// unknown table). Maintained by COPY/INSERT, rewritten by ANALYZE,
+    /// and rolled back with the rest of the slice state when a write
+    /// statement aborts — exactness tests key on it.
+    pub fn rows_estimate(&self, table: &str) -> Option<u64> {
+        self.catalog.read().get(table).map(|e| *e.rows_estimate.read())
+    }
+
+    /// Rows loaded into `table` since its last ANALYZE (drives the
+    /// auto-analyze maintenance trigger; `0` for unknown tables).
+    pub fn loads_since_analyze(&self, table: &str) -> u64 {
+        self.loads_since_analyze.lock().get(&table.to_ascii_lowercase()).copied().unwrap_or(0)
     }
 
     pub fn state(&self) -> ClusterState {
@@ -660,9 +675,42 @@ impl Cluster {
                 batch[ci].push_value(v)?;
             }
         }
+        // Atomic install: a partial multi-slice append (one slice
+        // encoded a group, another errored) must not leave stray rows
+        // or a drifted round-robin cursor behind.
+        let txn = self.begin_write(&entry);
         self.append_distributed(&entry, batch, true)?;
         *entry.rows_estimate.write() += n_rows;
+        txn.commit();
         Ok(ExecSummary { rows_affected: n_rows, message: format!("INSERT 0 {n_rows}") })
+    }
+
+    /// Open a slice-level write transaction over `entry` (DESIGN.md §11).
+    ///
+    /// Callers must already hold `write_txn` + the exclusive `data_lock`
+    /// (writers are single-file), so the snapshot is a consistent image
+    /// of everything a write statement can mutate: each slice's
+    /// buffered tail / group manifests / encodings / COMPUPDATE flag,
+    /// the router's round-robin cursor, and the catalog counters
+    /// (`rows_estimate`, `stats`, `loads_since_analyze`). Dropping the
+    /// guard without [`WriteTxn::commit`] rolls everything back and
+    /// deletes the blocks the statement wrote from every replica, so an
+    /// aborted COPY/INSERT is observationally invisible.
+    fn begin_write(&self, entry: &Arc<TableEntry>) -> WriteTxn<'_> {
+        WriteTxn {
+            checkpoints: entry.slices.iter().map(|s| Some(s.lock().begin_write())).collect(),
+            router: entry.router.lock().clone(),
+            rows_estimate: *entry.rows_estimate.read(),
+            stats: entry.stats.read().clone(),
+            loads_since_analyze: self
+                .loads_since_analyze
+                .lock()
+                .get(&entry.name.to_ascii_lowercase())
+                .copied(),
+            cluster: self,
+            entry: Arc::clone(entry),
+            armed: true,
+        }
     }
 
     /// Route a batch by the table's distribution style and append to the
@@ -721,7 +769,15 @@ impl Cluster {
             span.attr("table", c.table.clone());
             span.attr("objects", keys.len());
         }
-        // COMPUPDATE governs automatic compression analysis on first load.
+        // All-or-nothing from here on ("data loads are transactional",
+        // §2.1): any error below rolls every touched slice, the router
+        // cursor and the catalog counters back to this snapshot and
+        // deletes the statement's blocks from every replica.
+        let txn = self.begin_write(&entry);
+        // COMPUPDATE governs automatic compression analysis on first
+        // load. A per-statement override: the txn guard restores the
+        // flag on commit *and* rollback, so an aborted COPY no longer
+        // leaves it flipped on every slice.
         for s in &entry.slices {
             s.lock().set_auto_compress(c.comp_update);
         }
@@ -811,8 +867,27 @@ impl Cluster {
             },
         );
         seal_span.finish();
-        for r in results {
-            r?;
+        // Aggregate per-slice seal failures instead of dropping all but
+        // the first: the returned error names every failed slice, and
+        // its variant (→ retry class) is inherited from the first
+        // failure so THROTTLE exhaustion stays visibly transient.
+        let failures: Vec<(usize, RsError)> = results
+            .into_iter()
+            .enumerate()
+            .filter_map(|(slice, r)| r.err().map(|e| (slice, e)))
+            .collect();
+        if !failures.is_empty() {
+            self.trace.counter("copy.seal_errors").add(failures.len() as u64);
+            let detail = failures
+                .iter()
+                .map(|(slice, e)| format!("slice {slice}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let n = failures.len();
+            let total = entry.slices.len();
+            let first = failures.into_iter().next().expect("non-empty").1;
+            return Err(first
+                .with_note(&format!(" (COPY seal failed on {n} of {total} slices: [{detail}])")));
         }
         *entry.rows_estimate.write() += loaded;
         *self
@@ -832,6 +907,7 @@ impl Cluster {
             span.attr("rows", loaded);
         }
         span.finish();
+        txn.commit();
         self.trace.counter("copy.rows_loaded").add(loaded);
         Ok(ExecSummary { rows_affected: loaded, message: format!("COPY {loaded}") })
     }
@@ -1486,6 +1562,76 @@ fn parse_hex_key(hex: &str) -> Result<redsim_crypto::Key> {
             .map_err(|_| RsError::Crypto("invalid hex key".into()))?;
     }
     Ok(redsim_crypto::Key(words))
+}
+
+/// RAII slice-level write transaction (see [`Cluster::begin_write`]).
+///
+/// Install-or-rollback: the happy path calls [`WriteTxn::commit`]
+/// (install is the no-op — the appended state *is* the new state);
+/// every other exit path, including panics, runs the rollback in
+/// `Drop`. Because the guard is declared after the `write_txn` /
+/// `data_lock` guards in the statement functions, it drops *before*
+/// the locks release — no reader or writer can observe the
+/// mid-rollback state.
+struct WriteTxn<'a> {
+    /// One checkpoint per slice; `take()`n on commit and rollback.
+    checkpoints: Vec<Option<WriteCheckpoint>>,
+    /// The router's EVEN round-robin cursor advances per routed batch.
+    router: RowRouter,
+    rows_estimate: u64,
+    /// ANALYZE/STATUPDATE output as of the snapshot.
+    stats: Option<TableStats>,
+    /// This table's `loads_since_analyze` entry (`None` = absent).
+    loads_since_analyze: Option<u64>,
+    cluster: &'a Cluster,
+    entry: Arc<TableEntry>,
+    armed: bool,
+}
+
+impl WriteTxn<'_> {
+    /// Make the statement's writes permanent. Also restores each
+    /// slice's COMPUPDATE flag: it is a per-statement override, not a
+    /// table property, so it must not leak past the COPY that set it.
+    fn commit(mut self) {
+        self.armed = false;
+        for (slice, cp) in self.checkpoints.iter_mut().enumerate() {
+            if let Some(cp) = cp.take() {
+                self.entry.slices[slice].lock().set_auto_compress(cp.auto_compress());
+            }
+        }
+    }
+}
+
+impl Drop for WriteTxn<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut blocks = 0usize;
+        for (slice, cp) in self.checkpoints.iter_mut().enumerate() {
+            if let Some(cp) = cp.take() {
+                let store = self.cluster.store_for_slice(slice);
+                blocks += self.entry.slices[slice].lock().rollback_write(cp, store.as_ref());
+            }
+        }
+        *self.entry.router.lock() = self.router.clone();
+        *self.entry.rows_estimate.write() = self.rows_estimate;
+        *self.entry.stats.write() = self.stats.take();
+        let key = self.entry.name.to_ascii_lowercase();
+        {
+            let mut loads = self.cluster.loads_since_analyze.lock();
+            match self.loads_since_analyze.take() {
+                Some(v) => {
+                    loads.insert(key, v);
+                }
+                None => {
+                    loads.remove(&key);
+                }
+            }
+        }
+        self.cluster.trace.counter("write_txn.rollbacks").add(1);
+        self.cluster.trace.counter("write_txn.blocks_dropped").add(blocks as u64);
+    }
 }
 
 /// Run `f` over owned inputs on scoped threads, preserving order.

@@ -76,6 +76,7 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("queue_wait_us", DataType::Int8),
             ColumnDef::new("exec_us", DataType::Int8),
             ColumnDef::new("sqa", DataType::Bool),
+            ColumnDef::new("hops", DataType::Int8),
         ],
         "stv_wlm_service_class_state" => vec![
             ColumnDef::new("service_class", DataType::Varchar),
@@ -85,6 +86,7 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("executed", DataType::Int8),
             ColumnDef::new("evicted", DataType::Int8),
             ColumnDef::new("rejected", DataType::Int8),
+            ColumnDef::new("hopped", DataType::Int8),
             ColumnDef::new("avg_queue_wait_us", DataType::Int8),
         ],
         "stl_fault_event" => vec![
@@ -139,6 +141,7 @@ fn materialize(
                     Value::Int8(u64_attr(&r, "queue_wait_us")),
                     Value::Int8(u64_attr(&r, "exec_us")),
                     Value::Bool(r.attr_bool("sqa").unwrap_or(false)),
+                    Value::Int8(u64_attr(&r, "hops")),
                 ]);
             }
             return cols;
@@ -153,6 +156,7 @@ fn materialize(
                     Value::Int8(sc.executed as i64),
                     Value::Int8(sc.evicted as i64),
                     Value::Int8(sc.rejected as i64),
+                    Value::Int8(sc.hopped as i64),
                     Value::Int8(sc.avg_queue_wait_us as i64),
                 ]);
             }

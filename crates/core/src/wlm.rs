@@ -183,6 +183,9 @@ struct QueueState {
     executed: u64,
     evicted: u64,
     rejected: u64,
+    /// Timed-out waiters that restarted in a wider queue instead of
+    /// being evicted (counted against the queue they left).
+    hopped_out: u64,
     queue_wait_ns_total: u64,
 }
 
@@ -208,6 +211,8 @@ pub struct ServiceClassState {
     pub executed: u64,
     pub evicted: u64,
     pub rejected: u64,
+    /// Timed-out waiters that hopped out to a wider queue.
+    pub hopped: u64,
     /// Mean queue wait over completed queries, microseconds.
     pub avg_queue_wait_us: u64,
 }
@@ -297,7 +302,7 @@ impl WlmController {
 
         let mut inner = self.lock();
         if inner.draining {
-            self.record_failure(&mut inner, qi, qid, Outcome::Rejected, 0);
+            self.record_failure(&mut inner, qi, qid, Outcome::Rejected, 0, 0);
             drop(inner);
             return Err(RsError::InvalidState(
                 "wlm: cluster is draining, not accepting queries".into(),
@@ -317,6 +322,7 @@ impl WlmController {
                 lane: Lane::Sqa,
                 qid,
                 wait_ns: 0,
+                hops: 0,
                 admitted_at: Instant::now(),
                 done: false,
             });
@@ -332,6 +338,7 @@ impl WlmController {
                 lane: Lane::Queue(qi),
                 qid,
                 wait_ns: 0,
+                hops: 0,
                 admitted_at: Instant::now(),
                 done: false,
             });
@@ -339,7 +346,7 @@ impl WlmController {
 
         // Bounded wait list.
         if inner.queues[qi].queued as usize >= q.max_queue_len {
-            self.record_failure(&mut inner, qi, qid, Outcome::Rejected, 0);
+            self.record_failure(&mut inner, qi, qid, Outcome::Rejected, 0, 0);
             drop(inner);
             return Err(RsError::InvalidState(format!(
                 "wlm: queue '{}' full ({} waiters); queue full",
@@ -347,21 +354,27 @@ impl WlmController {
             )));
         }
 
+        // Wait for a slot, hopping to the next wider queue on timeout
+        // (the real system's "query hopping": a timed-out query is
+        // restarted in the next matching queue rather than cancelled).
+        // Only falling off the *last* eligible queue evicts.
+        let mut qi = qi;
+        let mut hops = 0u64;
         inner.queues[qi].queued += 1;
         let my_epoch = inner.drain_epoch;
-        let deadline = t0 + q.max_wait;
+        let mut deadline = t0 + q.max_wait;
         loop {
             let now = Instant::now();
             if inner.draining || inner.drain_epoch != my_epoch {
                 inner.queues[qi].queued -= 1;
                 let wait_ns = now.duration_since(t0).as_nanos() as u64;
-                self.record_failure(&mut inner, qi, qid, Outcome::Evicted, wait_ns);
+                self.record_failure(&mut inner, qi, qid, Outcome::Evicted, wait_ns, hops);
                 drop(inner);
                 return Err(RsError::InvalidState(
                     "wlm: evicted from queue by drain".into(),
                 ));
             }
-            if inner.queues[qi].in_flight < q.slots {
+            if inner.queues[qi].in_flight < self.cfg.queues[qi].slots {
                 inner.queues[qi].queued -= 1;
                 inner.queues[qi].in_flight += 1;
                 let wait_ns = now.duration_since(t0).as_nanos() as u64;
@@ -373,18 +386,32 @@ impl WlmController {
                     lane: Lane::Queue(qi),
                     qid,
                     wait_ns,
+                    hops,
                     admitted_at: Instant::now(),
                     done: false,
                 });
             }
             if now >= deadline {
+                if let Some(next) = self.next_hop(&inner, qi) {
+                    inner.queues[qi].queued -= 1;
+                    inner.queues[next].queued += 1;
+                    inner.queues[qi].hopped_out += 1;
+                    qi = next;
+                    hops += 1;
+                    // A fresh wait budget in the new queue; total wait
+                    // is still reported from t0 (queue_wait_us spans
+                    // every queue the query sat in).
+                    deadline = now + self.cfg.queues[qi].max_wait;
+                    self.trace.counter("wlm.hops").incr();
+                    continue;
+                }
                 inner.queues[qi].queued -= 1;
                 let wait_ns = now.duration_since(t0).as_nanos() as u64;
-                self.record_failure(&mut inner, qi, qid, Outcome::Evicted, wait_ns);
+                self.record_failure(&mut inner, qi, qid, Outcome::Evicted, wait_ns, hops);
                 drop(inner);
                 return Err(RsError::InvalidState(format!(
-                    "wlm: queue wait timeout in '{}' after {:?}",
-                    q.name, q.max_wait
+                    "wlm: queue wait timeout in '{}' after {:?} ({} hops)",
+                    self.cfg.queues[qi].name, self.cfg.queues[qi].max_wait, hops
                 )));
             }
             let (guard, _timeout) = self
@@ -393,6 +420,18 @@ impl WlmController {
                 .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         }
+    }
+
+    /// The next queue a timed-out waiter may hop to: the first queue
+    /// after `qi` that is reachable by cost routing (no user-group
+    /// gate — those are only enterable via their groups) and whose
+    /// wait list has room. `None` means the query fell off the last
+    /// queue and must be evicted.
+    fn next_hop(&self, inner: &Inner, qi: usize) -> Option<usize> {
+        (qi + 1..self.cfg.queues.len()).find(|&j| {
+            self.cfg.queues[j].user_groups.is_empty()
+                && (inner.queues[j].queued as usize) < self.cfg.queues[j].max_queue_len
+        })
     }
 
     /// Record a rejection/eviction span and bump counters. Must be
@@ -404,6 +443,7 @@ impl WlmController {
         qid: u64,
         outcome: Outcome,
         wait_ns: u64,
+        hops: u64,
     ) {
         match outcome {
             Outcome::Evicted => {
@@ -416,11 +456,12 @@ impl WlmController {
             }
             Outcome::Completed => unreachable!("failures only"),
         }
-        self.emit_span(qid, &self.cfg.queues[qi].name, outcome, wait_ns, 0, false);
+        self.emit_span(qid, &self.cfg.queues[qi].name, outcome, wait_ns, 0, false, hops);
     }
 
     /// Emit the per-query `wlm` record (LVL_CORE — `stl_wlm_query`
     /// depends on it).
+    #[allow(clippy::too_many_arguments)]
     fn emit_span(
         &self,
         qid: u64,
@@ -429,6 +470,7 @@ impl WlmController {
         wait_ns: u64,
         exec_ns: u64,
         sqa: bool,
+        hops: u64,
     ) {
         let mut span = self.trace.span(LVL_CORE, "wlm");
         span.attr("query", qid as i64);
@@ -437,6 +479,7 @@ impl WlmController {
         span.attr("queue_wait_us", (wait_ns / 1_000) as i64);
         span.attr("exec_us", (exec_ns / 1_000) as i64);
         span.attr("sqa", sqa);
+        span.attr("hops", hops as i64);
     }
 
     /// Stop admitting queries and evict everything on the wait lists.
@@ -505,6 +548,7 @@ impl WlmController {
                 executed: st.executed,
                 evicted: st.evicted,
                 rejected: st.rejected,
+                hopped: st.hopped_out,
                 avg_queue_wait_us: if st.executed == 0 {
                     0
                 } else {
@@ -521,6 +565,7 @@ impl WlmController {
                 executed: inner.sqa_executed,
                 evicted: 0,
                 rejected: 0,
+                hopped: 0,
                 avg_queue_wait_us: 0,
             });
         }
@@ -532,7 +577,7 @@ impl WlmController {
         &self.cfg
     }
 
-    fn release(&self, lane: Lane, qid: u64, wait_ns: u64, exec_ns: u64) {
+    fn release(&self, lane: Lane, qid: u64, wait_ns: u64, exec_ns: u64, hops: u64) {
         let mut inner = self.lock();
         let (name, sqa) = match lane {
             Lane::Sqa => {
@@ -550,7 +595,7 @@ impl WlmController {
         drop(inner);
         self.cv.notify_all();
         self.trace.counter("wlm.completed").incr();
-        self.emit_span(qid, &name, Outcome::Completed, wait_ns, exec_ns, sqa);
+        self.emit_span(qid, &name, Outcome::Completed, wait_ns, exec_ns, sqa, hops);
     }
 }
 
@@ -561,6 +606,7 @@ pub struct WlmGuard {
     lane: Lane,
     qid: u64,
     wait_ns: u64,
+    hops: u64,
     admitted_at: Instant,
     done: bool,
 }
@@ -569,6 +615,12 @@ impl WlmGuard {
     /// Time spent waiting for a slot, nanoseconds.
     pub fn queue_wait_ns(&self) -> u64 {
         self.wait_ns
+    }
+
+    /// How many times this query hopped to a wider queue before a
+    /// slot opened (`0` = admitted in its routed queue).
+    pub fn hops(&self) -> u64 {
+        self.hops
     }
 
     /// The WLM query id (joins against `stl_wlm_query.query`).
@@ -597,7 +649,7 @@ impl Drop for WlmGuard {
         }
         self.done = true;
         let exec_ns = self.admitted_at.elapsed().as_nanos() as u64;
-        self.ctl.release(self.lane, self.qid, self.wait_ns, exec_ns);
+        self.ctl.release(self.lane, self.qid, self.wait_ns, exec_ns, self.hops);
     }
 }
 
@@ -662,6 +714,47 @@ mod tests {
         let err = c.admit(10, None).unwrap_err();
         assert!(err.to_string().contains("timeout"), "{err}");
         assert_eq!(c.service_class_states()[0].evicted, 1);
+    }
+
+    #[test]
+    fn wait_timeout_hops_to_wider_queue_instead_of_evicting() {
+        // Queue 0 is saturated with a tiny max_wait; queue 1 has a free
+        // slot. The timed-out waiter must restart there, not error.
+        let cfg = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("narrow", 1).max_cost(100).max_wait(Duration::from_millis(10)),
+            WlmQueueDef::new("wide", 2).max_wait(Duration::from_secs(5)),
+        ]);
+        let c = ctl(cfg);
+        let _hog = c.admit(10, None).unwrap(); // saturates "narrow"
+        let hopped = c.admit(10, None).unwrap();
+        assert_eq!(hopped.service_class(), "wide");
+        assert_eq!(hopped.hops(), 1);
+        assert!(hopped.queue_wait_ns() > 0, "hop time counts as queue wait");
+        let states = c.service_class_states();
+        assert_eq!(states[0].hopped, 1, "counted against the queue it left");
+        assert_eq!(states[0].evicted, 0, "hop is not an eviction");
+    }
+
+    #[test]
+    fn hop_skips_user_group_queues_and_falling_off_last_queue_evicts() {
+        // Queue 1 is gated on a user group: a cost-routed waiter may
+        // never hop into it. With queue 2 also saturated, the query
+        // hops narrow→wide, times out again, and only then evicts.
+        let cfg = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("narrow", 1).max_cost(100).max_wait(Duration::from_millis(10)),
+            WlmQueueDef::new("etl", 4).user_group("etl_users"),
+            WlmQueueDef::new("wide", 1).max_wait(Duration::from_millis(10)),
+        ]);
+        let c = ctl(cfg);
+        let _hog0 = c.admit(10, None).unwrap(); // saturates "narrow"
+        let _hog2 = c.admit(10_000, None).unwrap(); // saturates "wide"
+        let err = c.admit(10, None).unwrap_err();
+        assert!(err.to_string().contains("timeout in 'wide'"), "{err}");
+        assert!(err.to_string().contains("1 hops"), "{err}");
+        let states = c.service_class_states();
+        assert_eq!(states[0].hopped, 1);
+        assert_eq!(states[1].evicted, 0, "user-group queue untouched");
+        assert_eq!(states[2].evicted, 1, "evicted from the last queue");
     }
 
     #[test]

@@ -115,6 +115,33 @@ pub struct ScanOutput {
     pub bytes_read: u64,
 }
 
+/// Snapshot of a slice table's mutable write state, taken by
+/// [`SliceTable::begin_write`] before the first append of a write
+/// statement and either discarded on success or handed back to
+/// [`SliceTable::rollback_write`] to undo every effect of the
+/// statement (staged-then-atomic-install, cf. C-Store's WOS→ROS).
+///
+/// The snapshot is cheap: group manifests are captured by *length*
+/// (append/flush only ever push), only the buffered tail — at most
+/// `rows_per_group - 1` rows — is deep-cloned.
+#[derive(Debug)]
+pub struct WriteCheckpoint {
+    encodings: Option<Vec<Encoding>>,
+    sorted_len: usize,
+    unsorted_len: usize,
+    buffer: Vec<ColumnData>,
+    auto_compress: bool,
+}
+
+impl WriteCheckpoint {
+    /// The auto-compress flag as of the checkpoint. COPY's COMPUPDATE
+    /// is a per-statement override, so the loader restores this on
+    /// *both* commit and rollback.
+    pub fn auto_compress(&self) -> bool {
+        self.auto_compress
+    }
+}
+
 /// Columnar storage of one table on one slice.
 #[derive(Debug)]
 pub struct SliceTable {
@@ -196,6 +223,46 @@ impl SliceTable {
         self.config.auto_compress = on;
     }
 
+    /// Snapshot the mutable write state ahead of a write statement.
+    /// Pair with [`SliceTable::rollback_write`] on any downstream error;
+    /// on success simply drop the checkpoint (install is the no-op).
+    pub fn begin_write(&self) -> WriteCheckpoint {
+        WriteCheckpoint {
+            encodings: self.encodings.clone(),
+            sorted_len: self.sorted.len(),
+            unsorted_len: self.unsorted.len(),
+            buffer: self.buffer.clone(),
+            auto_compress: self.config.auto_compress,
+        }
+    }
+
+    /// Restore the state captured by [`SliceTable::begin_write`],
+    /// deleting every block encoded since the checkpoint from `store`
+    /// (for a replicated store that removes primary *and* secondary
+    /// copies and the placement record, so the mirror stays in
+    /// lockstep; S3 backup copies are governed by snapshot retention
+    /// and become unreachable orphans). Returns the number of blocks
+    /// dropped.
+    pub fn rollback_write(&mut self, cp: WriteCheckpoint, store: &dyn BlockStore) -> usize {
+        let mut dropped = 0usize;
+        for g in self.sorted.drain(cp.sorted_len..) {
+            for b in &g.cols {
+                store.delete(b.id);
+                dropped += 1;
+            }
+        }
+        for g in self.unsorted.drain(cp.unsorted_len..) {
+            for b in &g.cols {
+                store.delete(b.id);
+                dropped += 1;
+            }
+        }
+        self.buffer = cp.buffer;
+        self.encodings = cp.encodings;
+        self.config.auto_compress = cp.auto_compress;
+        dropped
+    }
+
     /// Ids of every block owned by this slice table (replication/backup).
     pub fn block_ids(&self) -> Vec<BlockId> {
         self.sorted
@@ -275,19 +342,39 @@ impl SliceTable {
         self.ensure_encodings(cols);
         let encodings = self.encodings.clone().expect("set above");
         let rows = cols.first().map_or(0, |c| c.len()) as u32;
-        let mut refs = Vec::with_capacity(cols.len());
+        let mut refs: Vec<BlockRef> = Vec::with_capacity(cols.len());
         for (col, &enc) in cols.iter().zip(&encodings) {
             // The analyzer picks from a sample; data later in the load can
             // break a codec's data-dependent limits (dict overflow). Fall
             // back to Raw rather than failing the load.
-            let payload = match encode_column(col, enc) {
+            let payload = match encode_column(col, enc)
+                .or_else(|_| encode_column(col, Encoding::Raw))
+            {
                 Ok(p) => p,
-                Err(_) => encode_column(col, Encoding::Raw)?,
+                Err(e) => {
+                    // Scrub columns already written for this group so a
+                    // failed encode leaves no orphan blocks behind.
+                    for r in &refs {
+                        store.delete(r.id);
+                    }
+                    return Err(e);
+                }
             };
             let zone = ZoneMap::build(col);
             let block = EncodedBlock::new(rows, payload);
             let id = block.id;
-            store.put(block)?;
+            if let Err(e) = store.put(block) {
+                // A failed put may have partially dual-written (mirror
+                // primary ok, secondary refused → no placement record).
+                // delete() is idempotent and removes the id from every
+                // node, so scrub the failing id too, then the group's
+                // already-written columns.
+                store.delete(id);
+                for r in &refs {
+                    store.delete(r.id);
+                }
+                return Err(e);
+            }
             refs.push(BlockRef { id, zone });
         }
         let z_range = self.z_range_of(cols);
@@ -740,6 +827,70 @@ mod tests {
             b.push_value(&Value::Str(format!("row{i}"))).unwrap();
         }
         vec![a, b]
+    }
+
+    #[test]
+    fn write_checkpoint_rollback_restores_state_and_deletes_blocks() {
+        let store = MemBlockStore::new();
+        let mut t = SliceTable::new(
+            schema2(),
+            TableConfig { rows_per_group: 100, ..Default::default() },
+        )
+        .unwrap();
+        // Committed base state: 150 rows (one sealed group + 50 buffered).
+        t.append(&batch(0..150), &store).unwrap();
+        let base_rows = t.row_count();
+        let base_blocks = t.block_ids();
+        let base_store_blocks = store.block_count();
+        let base_encodings = t.encodings().map(<[Encoding]>::to_vec);
+
+        // Open a write txn, mutate everything it protects, then roll back.
+        let cp = t.begin_write();
+        t.set_auto_compress(false);
+        t.append(&batch(150..400), &store).unwrap(); // seals 2 more groups
+        t.flush(&store).unwrap(); // seals the mixed tail
+        assert!(t.row_count() > base_rows);
+        assert!(store.block_count() > base_store_blocks);
+        let dropped = t.rollback_write(cp, &store);
+        assert!(dropped > 0, "rollback must delete the txn's blocks");
+        assert_eq!(t.row_count(), base_rows, "row count not restored");
+        assert_eq!(t.block_ids(), base_blocks, "manifest not restored");
+        assert_eq!(
+            store.block_count(),
+            base_store_blocks,
+            "orphan blocks left in the store"
+        );
+        assert_eq!(
+            t.encodings().map(<[Encoding]>::to_vec),
+            base_encodings,
+            "encodings not restored"
+        );
+
+        // The slice is fully writable afterwards: same data re-appends.
+        let cp = t.begin_write();
+        t.append(&batch(150..400), &store).unwrap();
+        t.flush(&store).unwrap();
+        drop(cp); // install = keep
+        assert_eq!(t.row_count(), 400);
+    }
+
+    #[test]
+    fn rollback_of_first_write_resets_locked_encodings() {
+        // Encodings lock in on the first seal; aborting that first write
+        // must unlock them so the next COPY's COMPUPDATE decides afresh.
+        let store = MemBlockStore::new();
+        let mut t = SliceTable::new(
+            schema2(),
+            TableConfig { rows_per_group: 100, ..Default::default() },
+        )
+        .unwrap();
+        let cp = t.begin_write();
+        t.append(&batch(0..150), &store).unwrap();
+        assert!(t.encodings().is_some(), "first seal locks encodings");
+        t.rollback_write(cp, &store);
+        assert!(t.encodings().is_none(), "aborted first write left encodings locked");
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(store.block_count(), 0);
     }
 
     #[test]

@@ -769,14 +769,20 @@ fn wlm_dr_failover_preserves_data() {
 }
 
 // ---------------------------------------------------------------------
-// Chaos property (this PR's tentpole): randomized COPY / SELECT / kill /
-// revive / backup / restore schedules run under randomized *transient*
-// failpoint configurations. Invariants:
+// Chaos property: randomized COPY / SELECT / kill / revive / backup /
+// restore schedules run under randomized *transient* failpoint
+// configurations — with the write seams (`mirror.write.*`, `s3.put`)
+// armed: COPY is transactional (slice-level snapshot, install-or-
+// rollback), so a load that fails mid-write is observationally
+// invisible and exactness tracking survives write faults. Invariants:
 //   1. every operation returns exact results or a typed retryable error
 //      — never wrong data, never an unclassified failure, never a hang;
-//   2. once faults clear, the cluster heals in place: redundancy is
+//   2. a failed COPY leaves the pre-COPY state byte-identical: same
+//      SELECT results, same `rows_estimate`, same `loads_since_analyze`,
+//      same `copy.rows_loaded` counter;
+//   3. once faults clear, the cluster heals in place: redundancy is
 //      restorable and the final count is exact;
-//   3. the telemetry sink stays structurally consistent (no span leaks).
+//   4. the telemetry sink stays structurally consistent (no span leaks).
 // Replay any case with `RSIM_SEED` via the registry reseed printed by
 // the harness on failure.
 // ---------------------------------------------------------------------
@@ -787,7 +793,7 @@ fn arb_chaos_case() -> Gen<(Vec<(usize, usize, usize)>, Vec<(usize, i64)>, u64)>
     prop::triple(
         prop::vec_of(
             prop::triple(
-                prop::range(0usize..6),
+                prop::range(0usize..9),
                 prop::range(0usize..2),
                 prop::range(0usize..3),
             ),
@@ -804,17 +810,20 @@ fn chaos_schedule_upholds_exactness_and_liveness() {
     use redshift_sim::faultkit::{fp, ErrClass, FaultSpec};
     use std::time::{Duration, Instant};
 
-    // Transient-only chaos: read-side and background seams. Write seams
-    // (`mirror.write.*`, `s3.put`) are exercised by the dedicated
-    // failure-injection tests — arming them here would make partially
-    // applied COPYs indistinguishable from lost data.
-    const FPS: [&str; 6] = [
+    // Transient chaos over every seam, write seams included: since COPY
+    // is transactional (rollback on partial write failure), a load that
+    // dies on `mirror.write.*` or a seal error is rolled back block-for-
+    // block and the exactness bookkeeping below stays truthful.
+    const FPS: [&str; 9] = [
         fp::S3_GET,
         fp::COPY_FETCH_OBJECT,
         fp::MIRROR_BACKUP_DRAIN,
         fp::S3_COPY_OBJECT,
         fp::MIRROR_RE_REPLICATE,
         fp::RESTORE_PAGE_FAULT,
+        fp::MIRROR_WRITE_PRIMARY,
+        fp::MIRROR_WRITE_SECONDARY,
+        fp::S3_PUT,
     ];
     const CLASSES: [ErrClass; 2] = [ErrClass::Throttle, ErrClass::Repl];
     const PROBS: [f64; 3] = [0.05, 0.15, 0.25];
@@ -861,12 +870,45 @@ fn chaos_schedule_upholds_exactness_and_liveness() {
                         csv.push_str(&format!("{i}\n"));
                     }
                     c.put_s3_object(&format!("chaos/{step}/obj"), csv.into_bytes());
+                    let pre_estimate = c.rows_estimate("ev");
+                    let pre_loads = c.loads_since_analyze("ev");
+                    let pre_counter = c.trace().counter("copy.rows_loaded").get();
                     match c.execute(&format!("COPY ev FROM 's3://chaos/{step}/'")) {
                         Ok(s) => {
                             assert_eq!(s.rows_affected, rows as u64);
                             expected += rows;
                         }
-                        Err(e) => assert_retryable("copy", &e),
+                        Err(e) => {
+                            assert_retryable("copy", &e);
+                            // Atomic COPY: the failed load is
+                            // observationally invisible — catalog
+                            // counters and telemetry are byte-identical
+                            // to the pre-COPY snapshot, and any
+                            // readable SELECT sees the old count.
+                            assert_eq!(
+                                c.rows_estimate("ev"),
+                                pre_estimate,
+                                "failed COPY leaked into rows_estimate"
+                            );
+                            assert_eq!(
+                                c.loads_since_analyze("ev"),
+                                pre_loads,
+                                "failed COPY leaked into loads_since_analyze"
+                            );
+                            assert_eq!(
+                                c.trace().counter("copy.rows_loaded").get(),
+                                pre_counter,
+                                "failed COPY bumped copy.rows_loaded"
+                            );
+                            match c.query("SELECT COUNT(*) FROM ev") {
+                                Ok(r) => assert_eq!(
+                                    r.rows[0].get(0).as_i64(),
+                                    Some(expected),
+                                    "failed COPY left rows behind"
+                                ),
+                                Err(e) => assert_retryable("post-copy select", &e),
+                            }
+                        }
                     }
                 }
                 // SELECT: exact or typed-retryable (retry exhaustion).
