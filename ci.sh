@@ -47,6 +47,19 @@ if [ -n "$faultkit_deps" ]; then
 fi
 echo "ok: redsim-faultkit has no dependencies"
 
+echo "== hermeticity guard: redsim-frontdoor stays transport-only =="
+# The wire server must never grow a non-workspace dependency (no TLS /
+# auth / async stacks — DESIGN.md §12 non-goals): its whole closure is
+# redsim-* path crates.
+frontdoor_deps=$(cargo tree -p redsim-frontdoor --offline --edges normal --prefix none \
+  | sort -u | grep -v '^redsim-' | grep -v '^\s*$' || true)
+if [ -n "$frontdoor_deps" ]; then
+  echo "error: redsim-frontdoor grew non-workspace dependencies:" >&2
+  echo "$frontdoor_deps" >&2
+  exit 1
+fi
+echo "ok: redsim-frontdoor depends only on workspace crates"
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -80,6 +93,25 @@ echo "== chaos invariants, write seams armed (quick property pass) =="
 # Failing seeds are pinned in tests/properties.proptest-regressions;
 # replay with RSIM_SEED=<seed> (and RSIM_FAILPOINTS for ad-hoc configs).
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties chaos_
+
+echo "== session + result cache invariants (quick property pass) =="
+# Randomized multi-session schedules: cache hits bit-identical to cold
+# executions, rolled-back COPY never moves the catalog version, abrupt
+# disconnects (in-process and over the wire) leak no sessions or spans.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties session_
+
+echo "== frontdoor wire-server smoke (64 concurrent sessions) =="
+# The concurrent TCP server end to end: 64 clients, backlog rejection
+# with a retryable THROTTLE, typed errors over the wire, graceful drain.
+cargo test -q --offline --test frontdoor_server
+
+echo "== result-cache bench baseline is honored (benchdiff gate) =="
+# Re-running `cargo bench -p redsim-bench --bench result_cache` rewrites
+# results/result_cache.csv; this diff fails CI if the repeat-mix p50
+# regressed >15% against the committed baseline. With a fresh checkout
+# the two files are identical and the gate is a no-op.
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/result_cache_baseline.csv results/result_cache.csv
 
 echo "== write atomicity (failure-injection gate) =="
 # The pinned rollback scenarios: permanent mirror fault mid-COPY,

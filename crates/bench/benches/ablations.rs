@@ -7,7 +7,7 @@
 
 use redsim_testkit::bench::{Bench, BenchmarkId};
 use redsim_common::{ColumnData, ColumnDef, DataType, Schema, Value};
-use redsim_core::{Cluster, ClusterConfig};
+use redsim_core::{Cluster, ClusterConfig, SessionOpts};
 use redsim_distribution::NodeId;
 use redsim_replication::{ReplicatedStore, S3Sim};
 use redsim_storage::table::{ColumnRange, ScanPredicate, SliceTable, SortKeySpec, TableConfig};
@@ -303,17 +303,18 @@ fn bench_wlm(c: &mut Bench) {
                 let stop = Arc::clone(&stop);
                 let seq = Arc::clone(&seq);
                 std::thread::spawn(move || {
+                    // One session per ETL worker, routed by user group.
+                    let sess = cl
+                        .connect(SessionOpts::new("etl").user_group("etl_users"))
+                        .unwrap();
                     while !stop.load(Ordering::Relaxed) {
                         // Unique literal defeats the plan cache: every ETL
                         // query pays compile + a 4k x 4k keyed join.
                         let i = seq.fetch_add(1, Ordering::Relaxed);
-                        let _ = cl.query_as(
-                            &format!(
-                                "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
-                                 WHERE a.v <> {i} GROUP BY a.k ORDER BY n DESC LIMIT 3"
-                            ),
-                            Some("etl_users"),
-                        );
+                        let _ = sess.query(&format!(
+                            "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
+                             WHERE a.v <> {i} GROUP BY a.k ORDER BY n DESC LIMIT 3"
+                        ));
                     }
                 })
             })

@@ -1,0 +1,123 @@
+//! Leader result-cache ablation: the repeat-heavy dashboard mix every
+//! BI tool generates, with the cache on (session default) vs off
+//! (`enable_result_cache_for_session = off`).
+//!
+//! A hit is served leader-locally — no WLM admission, no compile, no
+//! execution — so repeat p50 should collapse by orders of magnitude;
+//! the ≥10× gate below is deliberately loose. Hit/miss ratios are
+//! reported from the cluster's own `result_cache.hits/misses` counters,
+//! not harness-side bookkeeping.
+
+use redsim_core::{Cluster, ClusterConfig, SessionOpts};
+use redsim_testkit::bench::Bench;
+use std::sync::Arc;
+
+/// The repeat mix: the same handful of dashboard panels, refreshed over
+/// and over against unchanging data — the result cache's home turf.
+const DASHBOARD: [&str; 4] = [
+    "SELECT COUNT(*) FROM events",
+    "SELECT k, COUNT(*) AS n FROM events GROUP BY k ORDER BY n DESC LIMIT 5",
+    "SELECT SUM(v) FROM events WHERE k < 25",
+    "SELECT MIN(v), MAX(v) FROM events",
+];
+
+fn launch() -> Arc<Cluster> {
+    let cl = Cluster::launch(
+        ClusterConfig::new("rc-bench").nodes(1).slices_per_node(2).compile_work(50_000),
+    )
+    .unwrap();
+    cl.execute("CREATE TABLE events (k BIGINT, v BIGINT) DISTKEY(k)").unwrap();
+    let mut csv = String::new();
+    for i in 0..20_000i64 {
+        csv.push_str(&format!("{},{}\n", i % 50, i));
+    }
+    cl.put_s3_object("ev/1", csv.into_bytes());
+    cl.execute("COPY events FROM 's3://ev/'").unwrap();
+    cl
+}
+
+fn p50_ns(samples: &mut Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var("RSIM_BENCH_QUICK").is_ok();
+    let cl = launch();
+    let cache_on = cl.connect(SessionOpts::new("dash")).unwrap();
+    let cache_off = cl.connect(SessionOpts::new("dash").result_cache(false)).unwrap();
+
+    let mut b = Bench::new("result_cache");
+    {
+        let mut g = b.group("result_cache");
+        g.sample_size(10);
+        g.bench_function("repeat_mix_cache_on", |bch| {
+            for q in DASHBOARD {
+                cache_on.query(q).unwrap(); // warm: first sight fills
+            }
+            let mut i = 0usize;
+            bch.iter(|| {
+                i += 1;
+                cache_on.query(DASHBOARD[i % DASHBOARD.len()]).unwrap()
+            });
+        });
+        g.bench_function("repeat_mix_cache_off", |bch| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                i += 1;
+                cache_off.query(DASHBOARD[i % DASHBOARD.len()]).unwrap()
+            });
+        });
+        // Worst case for the cache: never-repeating text, every probe a
+        // miss + fill. The gap to `repeat_mix_cache_off` is the probe
+        // overhead (plus the plan-cache miss the unique literal forces).
+        g.bench_function("unique_queries_all_miss", |bch| {
+            let mut i = 0u64;
+            bch.iter(|| {
+                i += 1;
+                cache_on
+                    .query(&format!("SELECT COUNT(*) FROM events WHERE v <> {}", i + 10_000_000))
+                    .unwrap()
+            });
+        });
+        g.finish();
+    }
+    b.finish();
+
+    // Manual p50 comparison on the repeat mix, from the same sessions.
+    let reps = if quick { 8 } else { 60 };
+    let measure = |sess: &redsim_core::Session| {
+        let mut ns = Vec::with_capacity(reps * DASHBOARD.len());
+        for _ in 0..reps {
+            for q in DASHBOARD {
+                let t0 = std::time::Instant::now();
+                sess.query(q).unwrap();
+                ns.push(t0.elapsed().as_nanos());
+            }
+        }
+        p50_ns(&mut ns)
+    };
+    for q in DASHBOARD {
+        cache_on.query(q).unwrap(); // ensure warm
+    }
+    let hot = measure(&cache_on);
+    let cold = measure(&cache_off);
+    let speedup = cold as f64 / hot.max(1) as f64;
+    let (hits, misses) = cl.result_cache_stats();
+    let ratio = hits as f64 / (hits + misses).max(1) as f64 * 100.0;
+    println!(
+        "\nAblation — leader result cache on the repeat dashboard mix:\n  \
+         p50 cache-on={hot}ns cache-off={cold}ns → {speedup:.1}x\n  \
+         cluster counters: result_cache.hits={hits} result_cache.misses={misses} \
+         ({ratio:.1}% hit rate)\n  \
+         session accounting: dash-on {} statements / {} cache hits",
+        cache_on.statement_count(),
+        cache_on.result_cache_hits(),
+    );
+    if !quick {
+        assert!(
+            speedup >= 10.0,
+            "result-cache repeat-mix p50 improved only {speedup:.1}x (< 10x gate)"
+        );
+    }
+}

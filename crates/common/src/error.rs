@@ -142,7 +142,12 @@ impl RsError {
         }
     }
 
-    fn message(&self) -> &str {
+    /// The bare message, without the [`code`](Self::code) prefix that
+    /// [`Display`](fmt::Display) adds. Transports that carry code and
+    /// message as separate fields (the wire protocol's `Err` frame)
+    /// must send this, not `to_string()`, or the prefix doubles on
+    /// re-display after decode.
+    pub fn message(&self) -> &str {
         match self {
             RsError::Parse(m)
             | RsError::Analysis(m)

@@ -5,6 +5,8 @@ use crate::catalog::{Catalog, PlannerCatalog, TableEntry};
 use crate::config::ClusterConfig;
 use crate::encstore::EncryptedBlockStore;
 use crate::loader;
+use crate::result_cache::{CachedResult, ResultCache};
+use crate::session::{Session, SessionCtx, SessionManager, SessionOpts};
 use crate::systables::{self, SystemTables};
 use crate::wlm::WlmController;
 use redsim_obs::{AttrValue, TraceSink, LVL_CORE, LVL_DETAIL, LVL_PHASE};
@@ -48,6 +50,9 @@ pub struct QueryResult {
     pub plan: String,
     /// Did the compiled-plan cache hit?
     pub cache_hit: bool,
+    /// Was the whole result served from the leader result cache (no
+    /// WLM admission, compile, or execution)?
+    pub result_cache_hit: bool,
 }
 
 /// Result of a non-SELECT statement.
@@ -96,6 +101,17 @@ pub struct Cluster {
     /// Leader-side WLM admission controller (§2.1): every SELECT holds a
     /// service-class concurrency slot for its whole execution.
     wlm: Arc<WlmController>,
+    /// Live sessions + connection log (`stv_sessions`,
+    /// `stl_connection_log`); the sessionless API registers implicit
+    /// sessions here too.
+    sessions: SessionManager,
+    /// Leader result cache, keyed on (normalized SQL, user group,
+    /// catalog version). See `crate::result_cache`.
+    result_cache: ResultCache,
+    /// Bumped by every *committed* mutating statement; never by a
+    /// rollback. Result-cache entries are pinned to the version they
+    /// were produced under, so a bump is the invalidation.
+    catalog_version: std::sync::atomic::AtomicU64,
 }
 
 impl Cluster {
@@ -174,6 +190,12 @@ impl Cluster {
             rng: Mutex::new(rng),
             usage: UsageStats::default(),
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
+            sessions: SessionManager::new(Arc::clone(&trace)),
+            result_cache: ResultCache::new(
+                config.result_cache_capacity,
+                config.result_cache_max_rows,
+            ),
+            catalog_version: std::sync::atomic::AtomicU64::new(0),
             trace,
             query_seq: std::sync::atomic::AtomicU64::new(0),
             wlm,
@@ -288,19 +310,53 @@ impl Cluster {
     // SQL endpoint
     // ------------------------------------------------------------------
 
+    /// Open a session: the front door's unit of connection. The session
+    /// carries the authenticated user, the user group WLM routes by, and
+    /// per-session settings; it disconnects on drop. Statements on one
+    /// session are serialized; open more sessions for concurrency.
+    pub fn connect(self: &Arc<Self>, opts: SessionOpts) -> Result<Session> {
+        self.check_readable()?;
+        Ok(Session::open(Arc::clone(self), opts))
+    }
+
+    /// The live-session registry (`stv_sessions` / `stl_connection_log`
+    /// materialize from it).
+    pub fn session_manager(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    /// Current catalog version: bumped by every *committed* mutating
+    /// statement, never by a rollback. The result cache keys on it.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn bump_catalog_version(&self) {
+        self.catalog_version.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// `(hits, misses)` of the leader result cache since launch.
+    pub fn result_cache_stats(&self) -> (u64, u64) {
+        self.result_cache.stats()
+    }
+
     /// Execute any statement; returns a row-count summary.
     pub fn execute(&self, sql: &str) -> Result<ExecSummary> {
-        let result = self.execute_inner(sql);
+        self.execute_with_ctx(sql, &SessionCtx::unregistered())
+    }
+
+    pub(crate) fn execute_with_ctx(&self, sql: &str, ctx: &SessionCtx) -> Result<ExecSummary> {
+        let result = self.execute_inner(sql, ctx);
         if let Err(e) = &result {
             self.usage.record_error(e.code());
         }
         result
     }
 
-    fn execute_inner(&self, sql: &str) -> Result<ExecSummary> {
+    fn execute_inner(&self, sql: &str, ctx: &SessionCtx) -> Result<ExecSummary> {
         match redsim_sql::parse(sql)? {
             Statement::Select(_) | Statement::Explain(_) => {
-                let r = self.query(sql)?;
+                let r = self.query_with_ctx(sql, ctx)?;
                 Ok(ExecSummary {
                     rows_affected: r.rows.len() as u64,
                     message: format!("SELECT {}", r.rows.len()),
@@ -320,7 +376,7 @@ impl Cluster {
             }
             Statement::Copy(c) => {
                 self.usage.record_feature("COPY");
-                self.run_copy(c)
+                self.run_copy(c, ctx)
             }
             Statement::Vacuum { table } => {
                 self.usage.record_feature("VACUUM");
@@ -335,21 +391,49 @@ impl Cluster {
 
     /// Run a SELECT (or EXPLAIN) and return rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        self.query_as(sql, None)
+        self.query_as_impl(sql, None)
     }
 
     /// Run a SELECT as a member of `user_group` — WLM routes the query
     /// to the first service class whose rules match (see
     /// [`crate::wlm::WlmConfig`]).
+    #[deprecated(
+        note = "connect() a Session (Cluster::connect / SessionOpts) and use Session::query; \
+                this shim routes through an implicit single-statement session"
+    )]
     pub fn query_as(&self, sql: &str, user_group: Option<&str>) -> Result<QueryResult> {
+        self.query_as_impl(sql, user_group)
+    }
+
+    /// The sessionless compatibility path: registers an implicit
+    /// single-statement session (so `stv_sessions`, the `sessions.active`
+    /// gauge, WLM routing, and `stl_query`'s session columns behave
+    /// exactly as for a real session), runs the statement with the
+    /// result cache off (legacy callers assert on cold-execution
+    /// telemetry), and disconnects.
+    fn query_as_impl(&self, sql: &str, user_group: Option<&str>) -> Result<QueryResult> {
+        let shared = self.sessions.register("default", user_group, true);
+        let ctx = SessionCtx {
+            session_id: shared.id(),
+            userid: shared.userid(),
+            user_group: user_group.map(str::to_string),
+            use_result_cache: false,
+            comp_update_default: true,
+        };
+        let r = self.query_with_ctx(sql, &ctx);
+        self.sessions.unregister(&shared);
+        r
+    }
+
+    pub(crate) fn query_with_ctx(&self, sql: &str, ctx: &SessionCtx) -> Result<QueryResult> {
         self.check_readable()?;
         let t_parse = std::time::Instant::now();
         let stmt = redsim_sql::parse(sql)?;
         let parse_ns = t_parse.elapsed().as_nanos() as u64;
         match stmt {
-            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns, user_group),
+            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns, ctx),
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns, user_group),
+                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns, ctx),
                 _ => Err(RsError::Unsupported("EXPLAIN supports SELECT only".into())),
             },
             _ => Err(RsError::Analysis("not a query; use execute()".into())),
@@ -378,7 +462,7 @@ impl Cluster {
         sel: &ast::Select,
         explain_only: bool,
         parse_ns: u64,
-        user_group: Option<&str>,
+        ctx: &SessionCtx,
     ) -> Result<QueryResult> {
         // Queries over `stl_*` / `svl_*` virtual tables run leader-local
         // against the telemetry sink (and are not themselves recorded).
@@ -391,6 +475,18 @@ impl Cluster {
             }
             return self.run_system_select(sel, &refs, explain_only);
         }
+        // Leader result cache: probed before WLM admission, planning, or
+        // any data lock — a hit costs one hash lookup. EXPLAIN and
+        // system-table reads never participate; a session can opt out
+        // (and the sessionless compat path always does).
+        let cacheable = !explain_only && ctx.use_result_cache;
+        if cacheable {
+            let version = self.catalog_version();
+            if let Some(hit) = self.result_cache.get(sql, ctx.user_group.as_deref(), version) {
+                return Ok(self.serve_cached(sql, ctx, &hit));
+            }
+            self.trace.counter("result_cache.misses").incr();
+        }
         // WLM admission (§2.1): hold a service-class concurrency slot
         // before taking any data lock, so a queued query starves neither
         // writers nor the queries already running. EXPLAIN is
@@ -400,7 +496,7 @@ impl Cluster {
         let wlm_guard = if explain_only {
             None
         } else {
-            Some(self.wlm.admit(self.estimate_cost(&refs), user_group)?)
+            Some(self.wlm.admit(self.estimate_cost(&refs), ctx.user_group.as_deref())?)
         };
         let queue_wait_ns = wlm_guard.as_ref().map_or(0, |g| g.queue_wait_ns());
         // Root span for stl_query: LVL_CORE records even at RSIM_TRACE=0.
@@ -440,6 +536,7 @@ impl Cluster {
                 metrics: ExecMetrics::default(),
                 plan: plan_text,
                 cache_hit: false,
+                result_cache_hit: false,
             });
         }
         // Leader: compile (cache) then dispatch to slices.
@@ -491,16 +588,65 @@ impl Cluster {
             if let Some(g) = &wlm_guard {
                 qspan.attr("service_class", g.service_class().to_string());
             }
+            qspan.attr("userid", ctx.userid);
+            qspan.attr("session", ctx.session_id);
+            qspan.attr("result_cache", if cacheable { "miss" } else { "off" });
             qspan.attr("plan", plan_text.clone());
         }
         qspan.finish();
+        if cacheable {
+            // Fill under the read lock: writers hold the data lock
+            // exclusively while bumping the version, so the version read
+            // here still matches the rows we just produced.
+            self.result_cache.put(
+                sql,
+                ctx.user_group.as_deref(),
+                self.catalog_version(),
+                CachedResult {
+                    columns: out.columns.clone(),
+                    rows: out.rows.clone(),
+                    plan: plan_text.clone(),
+                },
+            );
+        }
         Ok(QueryResult {
             columns: out.columns,
             rows: out.rows,
             metrics: out.metrics,
             plan: plan_text,
             cache_hit,
+            result_cache_hit: false,
         })
+    }
+
+    /// The result-cache hit path: no WLM admission, no planning, no
+    /// compile, no execution — just the cached rows, plus an `stl_query`
+    /// row so dashboards still see their queries. The absence of
+    /// `query.compile` / `query.exec` child spans under this `query`
+    /// span is how tests verify the skip.
+    fn serve_cached(&self, sql: &str, ctx: &SessionCtx, hit: &CachedResult) -> QueryResult {
+        self.trace.counter("result_cache.hits").incr();
+        let mut qspan = self.trace.span(LVL_CORE, "query");
+        if qspan.is_recording() {
+            let qid = self.query_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            qspan.attr("query", qid);
+            qspan.attr("querytxt", sql);
+            qspan.attr("rows", hit.rows.len());
+            qspan.attr("userid", ctx.userid);
+            qspan.attr("session", ctx.session_id);
+            qspan.attr("result_cache", "hit");
+            qspan.attr("plan", hit.plan.clone());
+        }
+        qspan.finish();
+        self.usage.record_feature("SELECT");
+        QueryResult {
+            columns: hit.columns.clone(),
+            rows: hit.rows.clone(),
+            metrics: ExecMetrics::default(),
+            plan: hit.plan.clone(),
+            cache_hit: false,
+            result_cache_hit: true,
+        }
     }
 
     /// Leader-local execution over the virtual system tables: one slice,
@@ -511,8 +657,13 @@ impl Cluster {
         refs: &[&str],
         explain_only: bool,
     ) -> Result<QueryResult> {
-        let sys =
-            SystemTables::capture(&self.trace, Some(&self.wlm), Some(self.s3.faults()), refs);
+        let sys = SystemTables::capture(
+            &self.trace,
+            Some(&self.wlm),
+            Some(self.s3.faults()),
+            Some(&self.sessions),
+            refs,
+        );
         let bound = Binder::new(&sys).bind_select(sel)?;
         let plan = optimizer::optimize(bound, &sys);
         let plan_text = plan.explain();
@@ -529,6 +680,7 @@ impl Cluster {
                 metrics: ExecMetrics::default(),
                 plan: plan_text,
                 cache_hit: false,
+                result_cache_hit: false,
             });
         }
         let out = Executor::new(&sys).run(&plan)?;
@@ -538,6 +690,7 @@ impl Cluster {
             metrics: out.metrics,
             plan: plan_text,
             cache_hit: false,
+            result_cache_hit: false,
         })
     }
 
@@ -609,6 +762,12 @@ impl Cluster {
             self.config.rows_per_group,
         )?;
         self.catalog.write().create(entry)?;
+        // Schema change: cached plans bound against the old catalog must
+        // not survive (a re-created table with a different schema can
+        // produce a Debug-identical plan signature), and result-cache
+        // entries stop matching via the version bump.
+        self.plan_cache.invalidate_all();
+        self.bump_catalog_version();
         Ok(ExecSummary { rows_affected: 0, message: format!("CREATE TABLE {}", ct.name) })
     }
 
@@ -626,6 +785,8 @@ impl Cluster {
         for (i, slice) in entry.slices.iter().enumerate() {
             slice.lock().drop_storage(self.store_for_slice(i).as_ref());
         }
+        self.plan_cache.invalidate_all();
+        self.bump_catalog_version();
         Ok(ExecSummary { rows_affected: 0, message: format!("DROP TABLE {name}") })
     }
 
@@ -682,6 +843,9 @@ impl Cluster {
         self.append_distributed(&entry, batch, true)?;
         *entry.rows_estimate.write() += n_rows;
         txn.commit();
+        // Committed (and only committed) writes invalidate the result
+        // cache; the early-return error paths above never get here.
+        self.bump_catalog_version();
         Ok(ExecSummary { rows_affected: n_rows, message: format!("INSERT 0 {n_rows}") })
     }
 
@@ -747,7 +911,7 @@ impl Cluster {
     // COPY
     // ------------------------------------------------------------------
 
-    fn run_copy(&self, c: ast::Copy) -> Result<ExecSummary> {
+    fn run_copy(&self, c: ast::Copy, ctx: &SessionCtx) -> Result<ExecSummary> {
         self.check_writable()?;
         let _txn = self.write_txn.lock();
         let _excl = self.data_lock.write();
@@ -775,13 +939,15 @@ impl Cluster {
         // deletes the statement's blocks from every replica.
         let txn = self.begin_write(&entry);
         // COMPUPDATE governs automatic compression analysis on first
-        // load. A per-statement override: the txn guard restores the
-        // flag on commit *and* rollback, so an aborted COPY no longer
-        // leaves it flipped on every slice.
+        // load; an unspecified statement falls back to the session's
+        // default (SET compupdate). A per-statement override: the txn
+        // guard restores the flag on commit *and* rollback, so an
+        // aborted COPY no longer leaves it flipped on every slice.
+        let comp_update = c.comp_update.unwrap_or(ctx.comp_update_default);
         for s in &entry.slices {
-            s.lock().set_auto_compress(c.comp_update);
+            s.lock().set_auto_compress(comp_update);
         }
-        if c.comp_update {
+        if comp_update {
             // First flush samples the data and locks per-column encodings.
             span.event_with(
                 LVL_PHASE,
@@ -908,6 +1074,10 @@ impl Cluster {
         }
         span.finish();
         txn.commit();
+        // The commit above is the last fallible step: a COPY that rolls
+        // back (any `?` earlier) never reaches this bump, so it never
+        // invalidates the result cache — the PR-5 atomicity contract.
+        self.bump_catalog_version();
         self.trace.counter("copy.rows_loaded").add(loaded);
         Ok(ExecSummary { rows_affected: loaded, message: format!("COPY {loaded}") })
     }
@@ -939,6 +1109,10 @@ impl Cluster {
                 rewritten += r?;
             }
         }
+        // VACUUM re-sorts without changing visible rows, but the blocks
+        // behind a cached plan's zone maps did change; conservatively
+        // treat every committed mutating statement the same way.
+        self.bump_catalog_version();
         Ok(ExecSummary { rows_affected: rewritten, message: format!("VACUUM {rewritten}") })
     }
 
@@ -956,6 +1130,7 @@ impl Cluster {
             self.analyze_entry(&entry)?;
             analyzed += 1;
         }
+        self.bump_catalog_version();
         Ok(ExecSummary { rows_affected: analyzed, message: format!("ANALYZE {analyzed} tables") })
     }
 
@@ -1129,6 +1304,12 @@ impl Cluster {
             rng: Mutex::new(rng),
             usage: UsageStats::default(),
             loads_since_analyze: Mutex::new(redsim_common::FxHashMap::default()),
+            sessions: SessionManager::new(Arc::clone(&trace)),
+            result_cache: ResultCache::new(
+                config.result_cache_capacity,
+                config.result_cache_max_rows,
+            ),
+            catalog_version: std::sync::atomic::AtomicU64::new(0),
             trace,
             query_seq: std::sync::atomic::AtomicU64::new(0),
             wlm,
@@ -1391,6 +1572,12 @@ impl Cluster {
         let mut catalog = self.catalog.write();
         catalog.drop_table(&name)?;
         catalog.create(new_entry)?;
+        drop(catalog);
+        // The table changed distribution: plans compiled against the old
+        // layout are stale, and cached results (though still row-correct)
+        // follow the same committed-write rule as everything else.
+        self.plan_cache.invalidate_all();
+        self.bump_catalog_version();
         Ok(())
     }
 
@@ -2294,5 +2481,189 @@ mod redistribution_tests {
             })
             .unwrap();
         assert!(again.is_empty(), "{again:?}");
+    }
+}
+
+#[cfg(test)]
+mod session_tests {
+    use super::*;
+    use crate::session::SessionOpts;
+    use redsim_faultkit::{fp, ErrClass, FaultSpec};
+
+    fn small() -> Arc<Cluster> {
+        Cluster::launch(ClusterConfig::new("sess").nodes(2).slices_per_node(2)).unwrap()
+    }
+
+    fn seed(c: &Arc<Cluster>) {
+        c.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+    }
+
+    #[test]
+    fn result_cache_hit_skips_wlm_compile_and_exec() {
+        let c = small();
+        seed(&c);
+        let s = c.connect(SessionOpts::new("ada")).unwrap();
+        let admitted = c.trace().counter_value("wlm.admitted");
+        let compiles = c.trace().records_named("query.compile").len();
+        let execs = c.trace().records_named("query.exec").len();
+        let cold = s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(!cold.result_cache_hit);
+        // Whitespace/case differences and a trailing ';' still hit.
+        let warm = s.query("select   COUNT(*)  from T ;").unwrap();
+        assert!(warm.result_cache_hit);
+        assert!(!warm.cache_hit, "plan-cache flag stays false on a result-cache hit");
+        assert_eq!(cold.rows, warm.rows);
+        assert_eq!(cold.columns, warm.columns);
+        // Only the cold run went through admission, compile and exec.
+        assert_eq!(c.trace().counter_value("wlm.admitted"), admitted + 1);
+        assert_eq!(c.trace().records_named("query.compile").len(), compiles + 1);
+        assert_eq!(c.trace().records_named("query.exec").len(), execs + 1);
+        assert_eq!(c.result_cache_stats(), (1, 1));
+        assert_eq!(s.result_cache_hits(), 1);
+        // stl_query distinguishes the two, and attributes both to the session.
+        let stl = c
+            .query("SELECT result_cache, session, userid FROM stl_query ORDER BY query")
+            .unwrap();
+        assert_eq!(stl.rows.len(), 2);
+        assert_eq!(stl.rows[0].get(0).as_str(), Some("miss"));
+        assert_eq!(stl.rows[1].get(0).as_str(), Some("hit"));
+        assert_eq!(stl.rows[1].get(1).as_i64(), Some(s.id() as i64));
+        assert_eq!(stl.rows[1].get(2).as_i64(), Some(s.userid() as i64));
+    }
+
+    #[test]
+    fn commits_invalidate_but_rolled_back_copy_does_not() {
+        let c = small();
+        seed(&c);
+        let s = c.connect(SessionOpts::new("ada")).unwrap();
+        let v0 = c.catalog_version();
+        s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(s.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        // A COPY that dies mid-load rolls back; the cache must survive.
+        c.put_s3_object("in/rows.csv", b"9,q\n".to_vec());
+        c.faults()
+            .configure(fp::COPY_FETCH_OBJECT, FaultSpec::err(ErrClass::NotFound).once());
+        assert!(s.execute("COPY t FROM 's3://in/'").is_err());
+        assert_eq!(c.catalog_version(), v0, "rolled-back write must not bump");
+        assert!(s.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        // A COPY against a missing prefix fails before the txn even opens.
+        assert!(s.execute("COPY t FROM 's3://nowhere/'").is_err());
+        assert!(s.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        // The same COPY, committed, invalidates: the re-run sees new rows.
+        s.execute("COPY t FROM 's3://in/'").unwrap();
+        assert!(c.catalog_version() > v0);
+        let fresh = s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(!fresh.result_cache_hit);
+        assert_eq!(fresh.rows[0].get(0).as_i64(), Some(4));
+    }
+
+    #[test]
+    fn cache_partitions_by_user_group_and_respects_opt_out() {
+        let c = small();
+        seed(&c);
+        let s = c.connect(SessionOpts::new("ada").result_cache(false)).unwrap();
+        s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(!s.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        assert_eq!(c.result_cache_stats(), (0, 0), "opted-out sessions never probe");
+        // SET enable_result_cache_for_session on → fills, then hits.
+        s.set("enable_result_cache_for_session", "on").unwrap();
+        s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(s.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        // A session in a WLM group has a different cache key.
+        let g = c.connect(SessionOpts::new("bob").user_group("etl_users")).unwrap();
+        assert!(!g.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        assert!(g.query("SELECT COUNT(*) FROM t").unwrap().result_cache_hit);
+        assert!(s.set("nonsense_setting", "on").is_err());
+        assert!(s.set("compupdate", "sideways").is_err());
+    }
+
+    #[test]
+    fn compupdate_session_default_applies_when_copy_omits_it() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
+        c.put_s3_object("in/rows.csv", b"1,x\n2,y\n".to_vec());
+        let s = c.connect(SessionOpts::new("etl").comp_update_default(false)).unwrap();
+        s.execute("COPY t FROM 's3://in/'").unwrap();
+        // COMPUPDATE off → no encoding-sample event was emitted.
+        assert!(c.trace().records_named("copy.encoding_sample").is_empty());
+        s.set("compupdate", "on").unwrap();
+        s.execute("COPY t FROM 's3://in/'").unwrap();
+        assert_eq!(c.trace().records_named("copy.encoding_sample").len(), 1);
+        // An explicit COMPUPDATE OFF overrides the (now-on) default.
+        s.execute("COPY t FROM 's3://in/' COMPUPDATE OFF").unwrap();
+        assert_eq!(c.trace().records_named("copy.encoding_sample").len(), 1);
+    }
+
+    #[test]
+    fn sessions_surface_in_system_tables_and_clean_up_on_drop() {
+        let c = small();
+        let s1 = c.connect(SessionOpts::new("ada").user_group("analyst")).unwrap();
+        let s2 = c.connect(SessionOpts::new("bob")).unwrap();
+        assert_eq!(c.trace().gauge_value("sessions.active"), 2);
+        assert_eq!(s1.userid(), 100);
+        assert_eq!(s2.userid(), 101);
+        // The observing query itself runs on an implicit session, which is
+        // live while stv_sessions materializes — filter it out by name.
+        let stv = c
+            .query("SELECT user_name, user_group, state FROM stv_sessions WHERE user_name <> 'default' ORDER BY session")
+            .unwrap();
+        assert_eq!(stv.rows.len(), 2);
+        assert_eq!(stv.rows[0].get(0).as_str(), Some("ada"));
+        assert_eq!(stv.rows[0].get(1).as_str(), Some("analyst"));
+        assert_eq!(stv.rows[0].get(2).as_str(), Some("idle"));
+        drop(s1);
+        assert_eq!(c.trace().gauge_value("sessions.active"), 1);
+        drop(s2);
+        assert_eq!(c.trace().gauge_value("sessions.active"), 0);
+        assert_eq!(c.session_manager().active_count(), 0);
+        // Two connects + two disconnects; implicit sessions never log.
+        let log = c
+            .query("SELECT event, user_name FROM stl_connection_log ORDER BY at_us")
+            .unwrap();
+        assert_eq!(log.rows.len(), 4);
+        assert_eq!(log.rows[0].get(0).as_str(), Some("initiating session"));
+        assert_eq!(log.rows[3].get(0).as_str(), Some("disconnecting session"));
+        // Userids are stable across reconnects of the same user.
+        let s3 = c.connect(SessionOpts::new("ada")).unwrap();
+        assert_eq!(s3.userid(), 100);
+    }
+
+    #[test]
+    fn deprecated_query_as_routes_through_implicit_session() {
+        let c = small();
+        seed(&c);
+        #[allow(deprecated)]
+        let r = c.query_as("SELECT COUNT(*) FROM t", Some("etl_users")).unwrap();
+        assert!(!r.result_cache_hit, "implicit sessions never use the result cache");
+        assert_eq!(c.session_manager().active_count(), 0, "implicit session unregistered");
+        // The stl_query row carries a real session id, the default userid,
+        // and result_cache 'off' — identical telemetry shape to Session.
+        let stl = c
+            .query("SELECT session, userid, result_cache FROM stl_query ORDER BY query")
+            .unwrap();
+        assert!(stl.rows[0].get(0).as_i64().unwrap() > 0);
+        assert_eq!(stl.rows[0].get(1).as_i64(), Some(100));
+        assert_eq!(stl.rows[0].get(2).as_str(), Some("off"));
+    }
+
+    #[test]
+    fn plan_cache_does_not_survive_schema_change() {
+        let c = small();
+        c.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+        let r1 = c.query("SELECT a FROM t").unwrap();
+        assert_eq!(r1.rows[0].get(0).as_i64(), Some(1));
+        // Same text, recompiled fresh each time the schema changes: drop
+        // and re-create t with the column types swapped.
+        c.execute("DROP TABLE t").unwrap();
+        c.execute("CREATE TABLE t (a VARCHAR, b BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES ('y', 2)").unwrap();
+        let (_, misses_before) = c.plan_cache_stats();
+        let r2 = c.query("SELECT a FROM t").unwrap();
+        assert!(!r2.cache_hit, "stale plan must not be reused across DDL");
+        let (_, misses_after) = c.plan_cache_stats();
+        assert_eq!(misses_after, misses_before + 1);
+        assert_eq!(r2.rows[0].get(0).as_str(), Some("y"));
     }
 }

@@ -47,6 +47,11 @@ pub struct ClusterConfig {
     /// Workload-management queues (§2.1). The default is one permissive
     /// queue with SQA off, so single-tenant tests never queue.
     pub wlm: WlmConfig,
+    /// Leader result-cache capacity (entries). Sessions opt out per
+    /// connection; the sessionless compat API never participates.
+    pub result_cache_capacity: usize,
+    /// Results with more rows than this are never cached.
+    pub result_cache_max_rows: usize,
 }
 
 impl ClusterConfig {
@@ -67,6 +72,8 @@ impl ClusterConfig {
             seed: 0xC0FFEE,
             retry: RetryPolicy::default(),
             wlm: WlmConfig::default(),
+            result_cache_capacity: 128,
+            result_cache_max_rows: 10_000,
         }
     }
 
@@ -135,6 +142,19 @@ impl ClusterConfig {
     /// Install a workload-management configuration (queues + SQA).
     pub fn wlm(mut self, cfg: WlmConfig) -> Self {
         self.wlm = cfg;
+        self
+    }
+
+    /// Leader result-cache capacity in entries (0 effectively disables
+    /// reuse: a one-entry cache that churns).
+    pub fn result_cache_capacity(mut self, entries: usize) -> Self {
+        self.result_cache_capacity = entries;
+        self
+    }
+
+    /// Row-count ceiling above which a result is not cached.
+    pub fn result_cache_max_rows(mut self, rows: usize) -> Self {
+        self.result_cache_max_rows = rows;
         self
     }
 

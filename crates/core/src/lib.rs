@@ -31,10 +31,14 @@ pub mod config;
 pub mod encstore;
 pub mod json;
 pub mod loader;
+pub mod result_cache;
+pub mod session;
 pub mod systables;
 pub mod wlm;
 
 pub use autonomics::{MaintenanceAction, MaintenancePolicy, UsageStats};
 pub use cluster::{Cluster, ExecSummary, QueryResult};
 pub use config::ClusterConfig;
+pub use result_cache::ResultCache;
+pub use session::{ConnEvent, Session, SessionManager, SessionOpts};
 pub use wlm::{ServiceClassState, WlmConfig, WlmController, WlmQueueDef};

@@ -16,7 +16,10 @@
 //! | `stl_wlm_query`     | `STL_WLM_QUERY`     | `wlm` span core attrs  |
 //! | `stv_wlm_service_class_state` | `STV_WLM_SERVICE_CLASS_STATE` | live [`WlmController`] state |
 //! | `stl_fault_event`   | (simulator-only)    | [`FaultRegistry`] event ring |
+//! | `stv_sessions`      | `STV_SESSIONS`      | live [`SessionManager`] state |
+//! | `stl_connection_log`| `STL_CONNECTION_LOG`| [`SessionManager`] event ring |
 
+use crate::session::SessionManager;
 use crate::wlm::WlmController;
 use redsim_common::{ColumnData, ColumnDef, DataType, FxHashMap, Result, RsError, Schema, Value};
 use redsim_faultkit::FaultRegistry;
@@ -26,13 +29,15 @@ use redsim_obs::{SpanRecord, TraceSink};
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
 
 /// The virtual tables the leader recognizes.
-pub const SYSTEM_TABLES: [&str; 6] = [
+pub const SYSTEM_TABLES: [&str; 8] = [
     "stl_query",
     "stl_explain",
     "svl_query_metrics",
     "stl_wlm_query",
     "stv_wlm_service_class_state",
     "stl_fault_event",
+    "stv_sessions",
+    "stl_connection_log",
 ];
 
 /// Is `name` a leader-side system table?
@@ -50,6 +55,9 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("duration_us", DataType::Int8),
             ColumnDef::new("rows", DataType::Int8),
             ColumnDef::new("compile_cache", DataType::Varchar),
+            ColumnDef::new("userid", DataType::Int4),
+            ColumnDef::new("session", DataType::Int8),
+            ColumnDef::new("result_cache", DataType::Varchar),
         ],
         "stl_explain" => vec![
             ColumnDef::new("query", DataType::Int8),
@@ -96,6 +104,24 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("action", DataType::Varchar),
             ColumnDef::new("class", DataType::Varchar),
         ],
+        "stv_sessions" => vec![
+            ColumnDef::new("session", DataType::Int8),
+            ColumnDef::new("userid", DataType::Int4),
+            ColumnDef::new("user_name", DataType::Varchar),
+            ColumnDef::new("user_group", DataType::Varchar),
+            ColumnDef::new("state", DataType::Varchar),
+            ColumnDef::new("statements", DataType::Int8),
+            ColumnDef::new("cache_hits", DataType::Int8),
+            ColumnDef::new("connected_at_us", DataType::Int8),
+        ],
+        "stl_connection_log" => vec![
+            ColumnDef::new("event", DataType::Varchar),
+            ColumnDef::new("session", DataType::Int8),
+            ColumnDef::new("userid", DataType::Int4),
+            ColumnDef::new("user_name", DataType::Varchar),
+            ColumnDef::new("at_us", DataType::Int8),
+            ColumnDef::new("duration_us", DataType::Int8),
+        ],
         _ => unreachable!("not a system table: {table}"),
     };
     Schema::new(cols).expect("system table schemas are well-formed")
@@ -116,6 +142,7 @@ fn materialize(
     sink: &TraceSink,
     wlm: Option<&WlmController>,
     faults: Option<&FaultRegistry>,
+    sessions: Option<&SessionManager>,
     table: &str,
 ) -> Vec<ColumnData> {
     let schema = schema_of(table);
@@ -177,6 +204,40 @@ fn materialize(
             }
             return cols;
         }
+        "stv_sessions" => {
+            // Live state, not history: one row per open session,
+            // implicit (sessionless-API) sessions included.
+            for s in sessions.map(SessionManager::live).unwrap_or_default() {
+                let state = match s.in_flight() {
+                    Some(_) => "active",
+                    None => "idle",
+                };
+                push(vec![
+                    Value::Int8(s.id() as i64),
+                    Value::Int4(s.userid() as i32),
+                    Value::Str(s.user().to_string()),
+                    s.user_group().map_or(Value::Null, |g| Value::Str(g.to_string())),
+                    Value::Str(state.to_string()),
+                    Value::Int8(s.statements() as i64),
+                    Value::Int8(s.result_cache_hits() as i64),
+                    Value::Int8(s.connected_at_us() as i64),
+                ]);
+            }
+            return cols;
+        }
+        "stl_connection_log" => {
+            for ev in sessions.map(SessionManager::conn_events).unwrap_or_default() {
+                push(vec![
+                    Value::Str(ev.event.to_string()),
+                    Value::Int8(ev.session as i64),
+                    Value::Int4(ev.userid as i32),
+                    Value::Str(ev.user),
+                    Value::Int8(ev.at_us as i64),
+                    Value::Int8(ev.duration_us as i64),
+                ]);
+            }
+            return cols;
+        }
         _ => {}
     }
     for r in query_spans(sink) {
@@ -189,6 +250,12 @@ fn materialize(
                 Value::Int8((r.dur_ns / 1_000) as i64),
                 Value::Int8(u64_attr(&r, "rows")),
                 Value::Str(r.attr_str("compile_cache").unwrap_or("miss").to_string()),
+                Value::Int4(u64_attr(&r, "userid") as i32),
+                Value::Int8(u64_attr(&r, "session")),
+                // "hit": served from the leader result cache (no
+                // compile/exec spans); "miss": executed + cached;
+                // "off": session opted out (or sessionless API).
+                Value::Str(r.attr_str("result_cache").unwrap_or("off").to_string()),
             ]),
             "stl_explain" => {
                 for (step, line) in r.attr_str("plan").unwrap_or("").lines().enumerate() {
@@ -227,12 +294,14 @@ pub struct SystemTables {
 
 impl SystemTables {
     /// Snapshot the sink's telemetry (and, when present, the live WLM
-    /// controller state) for the given table references. Unknown names
-    /// are skipped (binding reports them as missing).
+    /// controller and session-manager state) for the given table
+    /// references. Unknown names are skipped (binding reports them as
+    /// missing).
     pub fn capture(
         sink: &TraceSink,
         wlm: Option<&WlmController>,
         faults: Option<&FaultRegistry>,
+        sessions: Option<&SessionManager>,
         referenced: &[&str],
     ) -> SystemTables {
         let mut tables = FxHashMap::default();
@@ -240,7 +309,7 @@ impl SystemTables {
             let lower = name.to_ascii_lowercase();
             if is_system_table(&lower) && !tables.contains_key(&lower) {
                 let schema = schema_of(&lower);
-                let cols = materialize(sink, wlm, faults, &lower);
+                let cols = materialize(sink, wlm, faults, sessions, &lower);
                 tables.insert(lower, (schema, cols));
             }
         }
@@ -325,6 +394,8 @@ mod tests {
         assert!(is_system_table("stl_wlm_query"));
         assert!(is_system_table("STV_WLM_SERVICE_CLASS_STATE"));
         assert!(is_system_table("stl_fault_event"));
+        assert!(is_system_table("stv_sessions"));
+        assert!(is_system_table("STL_CONNECTION_LOG"));
         assert!(!is_system_table("users"));
     }
 
@@ -338,7 +409,7 @@ mod tests {
             let _ = reg.fire(fp::S3_GET);
         }
         assert!(matches!(reg.fire(fp::S3_GET), Outcome::Proceed));
-        let sys = SystemTables::capture(&sink, None, Some(&reg), &["stl_fault_event"]);
+        let sys = SystemTables::capture(&sink, None, Some(&reg), None, &["stl_fault_event"]);
         let out = sys
             .scan_slice("stl_fault_event", 0, &[0, 2, 3, 4], &ScanPredicate::default())
             .unwrap();
@@ -348,7 +419,7 @@ mod tests {
         assert_eq!(b[2].get(0).as_str(), Some("err"));
         assert_eq!(b[3].get(0).as_str(), Some("throttle"));
         // Without a registry the table is empty but bindable.
-        let sys2 = SystemTables::capture(&sink, None, None, &["stl_fault_event"]);
+        let sys2 = SystemTables::capture(&sink, None, None, None, &["stl_fault_event"]);
         let empty =
             sys2.scan_slice("stl_fault_event", 0, &[0], &ScanPredicate::default()).unwrap();
         assert!(empty.batches.is_empty());
@@ -368,6 +439,7 @@ mod tests {
             &sink,
             Some(&ctl),
             None,
+            None,
             &["stl_wlm_query", "stv_wlm_service_class_state"],
         );
         let wq =
@@ -381,7 +453,7 @@ mod tests {
             .unwrap();
         assert_eq!(sc.batches[0][0].len(), 2, "q1 + sqa lane rows");
         // Without a controller the STV table is empty but bindable.
-        let sys2 = SystemTables::capture(&sink, None, None, &["stv_wlm_service_class_state"]);
+        let sys2 = SystemTables::capture(&sink, None, None, None, &["stv_wlm_service_class_state"]);
         let empty = sys2
             .scan_slice("stv_wlm_service_class_state", 0, &[0], &ScanPredicate::default())
             .unwrap();
@@ -389,9 +461,38 @@ mod tests {
     }
 
     #[test]
+    fn session_tables_materialize_from_manager() {
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let mgr = crate::session::SessionManager::new(Arc::clone(&sink));
+        let a = mgr.register("ada", Some("analyst"), false);
+        let implicit = mgr.register("default", None, true);
+        mgr.unregister(&implicit);
+        let sys = SystemTables::capture(
+            &sink,
+            None,
+            None,
+            Some(&mgr),
+            &["stv_sessions", "stl_connection_log"],
+        );
+        let s = sys
+            .scan_slice("stv_sessions", 0, &[0, 2, 3, 4], &ScanPredicate::default())
+            .unwrap();
+        assert_eq!(s.batches[0][0].len(), 1, "only the live session");
+        assert_eq!(s.batches[0][1].get(0).as_str(), Some("ada"));
+        assert_eq!(s.batches[0][2].get(0).as_str(), Some("analyst"));
+        assert_eq!(s.batches[0][3].get(0).as_str(), Some("idle"));
+        let l =
+            sys.scan_slice("stl_connection_log", 0, &[0, 3], &ScanPredicate::default()).unwrap();
+        assert_eq!(l.batches[0][0].len(), 1, "implicit sessions skip the log");
+        assert_eq!(l.batches[0][0].get(0).as_str(), Some("initiating session"));
+        mgr.unregister(&a);
+        assert_eq!(sink.gauge_value("sessions.active"), 0);
+    }
+
+    #[test]
     fn stl_query_materializes_one_row_per_span() {
         let sink = sink_with_queries(3);
-        let sys = SystemTables::capture(&sink, None, None, &["stl_query"]);
+        let sys = SystemTables::capture(&sink, None, None, None, &["stl_query"]);
         let out = sys.scan_slice("stl_query", 0, &[0, 5], &ScanPredicate::default()).unwrap();
         assert_eq!(out.batches.len(), 1);
         let ids = &out.batches[0][0];
@@ -404,7 +505,7 @@ mod tests {
     #[test]
     fn stl_explain_splits_plan_lines() {
         let sink = sink_with_queries(1);
-        let sys = SystemTables::capture(&sink, None, None, &["stl_explain"]);
+        let sys = SystemTables::capture(&sink, None, None, None, &["stl_explain"]);
         let out = sys.scan_slice("stl_explain", 0, &[0, 1, 2], &ScanPredicate::default()).unwrap();
         let steps = &out.batches[0][1];
         assert_eq!(steps.len(), 2, "two plan lines → two rows");
@@ -414,7 +515,7 @@ mod tests {
     #[test]
     fn empty_sink_yields_empty_tables() {
         let sink = Arc::new(TraceSink::with_level(LVL_CORE));
-        let sys = SystemTables::capture(&sink, None, None, &["svl_query_metrics"]);
+        let sys = SystemTables::capture(&sink, None, None, None, &["svl_query_metrics"]);
         let out =
             sys.scan_slice("svl_query_metrics", 0, &[0], &ScanPredicate::default()).unwrap();
         assert!(out.batches.is_empty());

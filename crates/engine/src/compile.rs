@@ -161,6 +161,17 @@ impl PlanCache {
         compiled
     }
 
+    /// Drop every cached plan. Called by the leader after a
+    /// schema-changing statement (CREATE/DROP/redistribution): a plan
+    /// compiled against the old catalog must never execute against the
+    /// new one, even when the Debug signature happens to collide.
+    /// Hit/miss counters are preserved.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.order.clear();
+    }
+
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.hits, inner.misses)
@@ -233,6 +244,16 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(hits, 1, "only the pre-eviction `a` access hit");
         assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn invalidate_all_forces_recompilation() {
+        let cache = PlanCache::with_work(4, 1_000);
+        cache.get_or_compile(scan("t"));
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        cache.get_or_compile(scan("t"));
+        assert_eq!(cache.stats(), (0, 2), "post-invalidation access is a miss");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The wire client: a blocking, single-connection handle that speaks
+//! the frame protocol. One `WireClient` is one session on the server;
+//! dropping it (or the process dying) closes the socket, and the
+//! server-side session unregisters.
+
+use crate::wire::{
+    decode_error, decode_response, encode_request, read_frame, write_frame, Request, Response,
+    WireRows,
+};
+use redsim_common::{Result, RsError};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. Requests are strictly request/response — like a
+/// psql connection, there is no pipelining.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    session: u64,
+    userid: u32,
+}
+
+impl WireClient {
+    /// Connect and perform the `Hello` handshake. `user_group` routes
+    /// this session's queries in WLM, exactly as if set leader-side.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        user: impl Into<String>,
+        user_group: Option<&str>,
+    ) -> Result<WireClient> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let mut client = WireClient { stream, session: 0, userid: 0 };
+        let hello = Request::Hello {
+            user: user.into(),
+            user_group: user_group.map(str::to_string),
+        };
+        match client.call(&hello)? {
+            Response::HelloOk { session, userid } => {
+                client.session = session;
+                client.userid = userid;
+                Ok(client)
+            }
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+
+    /// Server-assigned session id (joins against `stv_sessions`).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Server-assigned userid (joins against `stl_query.userid`).
+    pub fn userid(&self) -> u32 {
+        self.userid
+    }
+
+    /// Run a SELECT/EXPLAIN.
+    pub fn query(&mut self, sql: &str) -> Result<WireRows> {
+        match self.call(&Request::Query { sql: sql.into() })? {
+            Response::Rows(rows) => Ok(rows),
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Run any statement; returns `(rows_affected, message)`.
+    pub fn execute(&mut self, sql: &str) -> Result<(u64, String)> {
+        match self.call(&Request::Execute { sql: sql.into() })? {
+            Response::Summary { rows_affected, message } => Ok((rows_affected, message)),
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("Summary", &other)),
+        }
+    }
+
+    /// `SET`-style session setting (`enable_result_cache_for_session`,
+    /// `compupdate`).
+    pub fn set(&mut self, name: &str, value: &str) -> Result<()> {
+        match self.call(&Request::Set { name: name.into(), value: value.into() })? {
+            Response::Summary { .. } => Ok(()),
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("Summary", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Polite goodbye: waits for the server's acknowledgement, then
+    /// closes. (Dropping the client without calling this is the abrupt
+    /// path and is equally safe server-side.)
+    pub fn bye(mut self) -> Result<()> {
+        match self.call(&Request::Bye)? {
+            Response::ByeOk => Ok(()),
+            Response::Err { code, message, .. } => Err(decode_error(&code, message)),
+            other => Err(unexpected("ByeOk", &other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req)).map_err(io_err)?;
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(RsError::ControlPlane("server closed the connection".into())),
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> RsError {
+    RsError::ControlPlane(format!("wire: {e}"))
+}
+
+fn unexpected(wanted: &str, got: &Response) -> RsError {
+    RsError::Codec(format!("expected {wanted}, got {got:?}"))
+}

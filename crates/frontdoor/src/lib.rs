@@ -1,0 +1,45 @@
+//! # redsim-frontdoor
+//!
+//! The leader node's front door. §2: "The leader node accepts
+//! connections from client programs, parses requests, …" — this crate
+//! is the *accepts connections* part:
+//!
+//! - [`wire`]: a length-prefixed frame protocol (`u32` little-endian
+//!   length + opcode + body) with typed error transport — an
+//!   [`RsError`](redsim_common::RsError) crosses the wire and comes
+//!   back as the same variant, retryability intact.
+//! - [`FrontDoor`]: a concurrent TCP server, one thread and one
+//!   [`Session`](redsim_core::Session) per connection, with a bounded
+//!   connection count (excess clients get a retryable `THROTTLE`) and
+//!   graceful drain composed into cluster shutdown.
+//! - [`WireClient`]: the blocking client handle.
+//!
+//! Sessions, the result cache and the system-table plumbing live in
+//! `redsim_core::session` — the deprecated sessionless API must route
+//! through them too, and `core` cannot depend on this crate. What
+//! remains here is purely transport. There is no authentication crypto
+//! and no TLS (DESIGN.md §12 non-goals): "authentication" is the
+//! `Hello` frame presenting a user name.
+//!
+//! ```
+//! use redsim_core::{Cluster, ClusterConfig};
+//! use redsim_frontdoor::{FrontDoor, ServerOpts, WireClient};
+//!
+//! let cluster = Cluster::launch(ClusterConfig::new("demo").nodes(2)).unwrap();
+//! let door = FrontDoor::serve(cluster, ServerOpts::default()).unwrap();
+//! let mut client = WireClient::connect(door.addr(), "ada", None).unwrap();
+//! client.execute("CREATE TABLE t (a BIGINT)").unwrap();
+//! client.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+//! let r = client.query("SELECT COUNT(*) FROM t").unwrap();
+//! assert_eq!(r.rows[0].get(0).as_i64(), Some(2));
+//! client.bye().unwrap();
+//! door.shutdown();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::WireClient;
+pub use server::{FrontDoor, ServerOpts};
+pub use wire::{Request, Response, WireRows};

@@ -61,7 +61,9 @@ pub struct Copy {
     pub table: String,
     pub source: String,
     pub format: CopyFormat,
-    pub comp_update: bool,
+    /// `None` = not specified in the statement; the session's
+    /// COMPUPDATE default (on, unless SET says otherwise) applies.
+    pub comp_update: Option<bool>,
     pub stat_update: bool,
     pub delimiter: char,
     /// Source objects are LZSS-compressed (this repo's stand-in for the

@@ -299,7 +299,7 @@ impl Parser {
             other => return Err(RsError::Parse(format!("expected source URI, found {other:?}"))),
         };
         let mut format = CopyFormat::Csv;
-        let mut comp_update = true;
+        let mut comp_update = None;
         let mut stat_update = true;
         let mut delimiter = ',';
         let mut compressed = false;
@@ -319,10 +319,10 @@ impl Parser {
                 format = CopyFormat::Csv;
             } else if self.eat_kw("COMPUPDATE") {
                 if self.eat_kw("OFF") {
-                    comp_update = false;
+                    comp_update = Some(false);
                 } else {
                     self.eat_kw("ON");
-                    comp_update = true;
+                    comp_update = Some(true);
                 }
             } else if self.eat_kw("STATUPDATE") {
                 if self.eat_kw("OFF") {
@@ -851,7 +851,7 @@ mod tests {
                 assert_eq!(c.table, "clicks");
                 assert_eq!(c.source, "s3://bucket/prefix/");
                 assert_eq!(c.format, CopyFormat::Csv);
-                assert!(!c.comp_update);
+                assert_eq!(c.comp_update, Some(false));
                 assert_eq!(c.delimiter, '|');
             }
             other => panic!("{other:?}"),

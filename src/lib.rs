@@ -28,6 +28,7 @@ pub use redsim_crypto as crypto;
 pub use redsim_distribution as distribution;
 pub use redsim_engine as engine;
 pub use redsim_faultkit as faultkit;
+pub use redsim_frontdoor as frontdoor;
 pub use redsim_obs as obs;
 pub use redsim_replication as replication;
 pub use redsim_simkit as simkit;

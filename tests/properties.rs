@@ -8,7 +8,7 @@
 //! named test [`regression_lexer_multibyte_start`].
 
 use redshift_sim::common::{ColumnData, ColumnDef, DataType, Schema, Value};
-use redshift_sim::core::{Cluster, ClusterConfig};
+use redshift_sim::core::{Cluster, ClusterConfig, SessionOpts};
 use redshift_sim::storage::encoding::{decode_column, encode_column, Encoding};
 use redshift_sim::testkit::prop::{self, Config, Gen};
 use redshift_sim::zorder::ZSpace;
@@ -513,25 +513,29 @@ fn wlm_admission_invariants() {
         // Concurrent phase: each generated script runs on its own thread.
         let issued = AtomicU64::new(warmup_selects);
         let results: Vec<Result<(), String>> = par::map(threads.clone(), |script| {
+            // One pair of sessions per thread (like two client
+            // connections). Result cache off: the invariants below do
+            // exact WLM accounting per issued SELECT, and a cache hit
+            // legitimately skips admission.
+            let dash = c
+                .connect(SessionOpts::new("dash").result_cache(false))
+                .map_err(|e| e.to_string())?;
+            let etl = c
+                .connect(SessionOpts::new("etl").user_group("etl_users").result_cache(false))
+                .map_err(|e| e.to_string())?;
             for (kind, lit) in script {
                 let res = match kind {
                     0 => {
                         issued.fetch_add(1, Ordering::Relaxed);
-                        c.query_as(
-                            &format!("SELECT COUNT(*) FROM small WHERE a <> {lit}"),
-                            None,
-                        )
-                        .map(|_| ())
+                        dash.query(&format!("SELECT COUNT(*) FROM small WHERE a <> {lit}"))
+                            .map(|_| ())
                     }
                     1 => {
                         issued.fetch_add(1, Ordering::Relaxed);
-                        c.query_as(
-                            &format!(
-                                "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
-                                 WHERE a.v <> {lit} GROUP BY a.k ORDER BY n DESC LIMIT 5"
-                            ),
-                            Some("etl_users"),
-                        )
+                        etl.query(&format!(
+                            "SELECT a.k, COUNT(*) AS n FROM big a JOIN big b ON a.k = b.k \
+                             WHERE a.v <> {lit} GROUP BY a.k ORDER BY n DESC LIMIT 5"
+                        ))
                         .map(|_| ())
                     }
                     _ => {
@@ -997,5 +1001,154 @@ fn chaos_schedule_upholds_exactness_and_liveness() {
         assert_eq!(ev, c.faults().events().len() as i64);
         assert_eq!(c.trace().open_spans(), 0, "chaos leaked spans");
         assert!(t0.elapsed() < Duration::from_secs(20), "chaos case hung: {:?}", t0.elapsed());
+    });
+}
+
+// ---------------------------------------------------------------------
+// Sessions + leader result cache: randomized multi-session schedules.
+// ---------------------------------------------------------------------
+
+/// A schedule of `(op, slot, literal)` steps over four session slots,
+/// plus a seed. Ops: connect / abrupt-disconnect / query / INSERT /
+/// failed COPY / committed COPY.
+fn arb_session_case() -> Gen<(Vec<(usize, usize, i64)>, u64)> {
+    prop::pair(
+        prop::vec_of(
+            prop::triple(prop::range(0usize..6), prop::range(0usize..4), prop::range(0i64..1000)),
+            8..40,
+        ),
+        prop::range(0u64..1_000_000),
+    )
+}
+
+#[test]
+fn session_schedule_cache_and_leak_invariants() {
+    use redshift_sim::core::Session;
+    use redshift_sim::faultkit::{fp, ErrClass, FaultSpec};
+
+    const QUERIES: [&str; 3] = [
+        "SELECT COUNT(*) FROM t",
+        "SELECT SUM(k) FROM t",
+        "SELECT k FROM t ORDER BY k LIMIT 5",
+    ];
+
+    let cfg = Config::with_cases(16).regressions_file(regressions());
+    prop::check("session_schedule", &cfg, &arb_session_case(), |(schedule, seed)| {
+        let c = Cluster::launch(
+            ClusterConfig::new("sessprop").nodes(2).slices_per_node(2).seed(*seed),
+        )
+        .unwrap();
+        c.execute("CREATE TABLE t (k BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let mut slots: [Option<Session>; 4] = [None, None, None, None];
+        let groups = [None, Some("etl_users"), None, Some("dash")];
+        let connect = |i: usize| {
+            let mut opts = SessionOpts::new(format!("u{i}"));
+            if let Some(g) = groups[i] {
+                opts = opts.user_group(g);
+            }
+            c.connect(opts).unwrap()
+        };
+        for (step, &(op, slot, lit)) in schedule.iter().enumerate() {
+            match op {
+                // (Re)connect the slot; reconnects reuse the userid.
+                0 => slots[slot] = Some(connect(slot)),
+                // Abrupt disconnect: drop with no goodbye mid-schedule.
+                1 => slots[slot] = None,
+                // Query — hit or miss, rows must be bit-identical to a
+                // cold execution of the same text (the sessionless API
+                // never touches the result cache).
+                2 | 3 => {
+                    let s = slots[slot].get_or_insert_with(|| connect(slot));
+                    let sql = QUERIES[(lit as usize) % QUERIES.len()];
+                    let warm = s.query(sql).unwrap();
+                    let cold = c.query(sql).unwrap();
+                    assert!(!cold.result_cache_hit);
+                    assert_eq!(
+                        warm.rows, cold.rows,
+                        "cached rows diverged from cold execution for {sql:?}"
+                    );
+                    assert_eq!(warm.columns, cold.columns);
+                }
+                // Committed INSERT through a session: must invalidate —
+                // verified implicitly by the cold-comparison above.
+                4 => {
+                    let s = slots[slot].get_or_insert_with(|| connect(slot));
+                    s.execute(&format!("INSERT INTO t VALUES ({lit})")).unwrap();
+                }
+                // A COPY that dies mid-transaction: rolled back, and the
+                // catalog version (the cache's invalidation clock) must
+                // not move — previously cached results stay servable.
+                _ => {
+                    let s = slots[slot].get_or_insert_with(|| connect(slot));
+                    c.put_s3_object(&format!("sess/{step}/obj"), format!("{lit}\n").into_bytes());
+                    let v_before = c.catalog_version();
+                    c.faults()
+                        .configure(fp::COPY_FETCH_OBJECT, FaultSpec::err(ErrClass::NotFound).once());
+                    let count_before = c.query("SELECT COUNT(*) FROM t").unwrap();
+                    assert!(s.execute(&format!("COPY t FROM 's3://sess/{step}/'")).is_err());
+                    assert_eq!(
+                        c.catalog_version(),
+                        v_before,
+                        "rolled-back COPY bumped the catalog version"
+                    );
+                    let count_after = c.query("SELECT COUNT(*) FROM t").unwrap();
+                    assert_eq!(count_before.rows, count_after.rows, "failed COPY left rows");
+                    // The same COPY committed does move the clock.
+                    s.execute(&format!("COPY t FROM 's3://sess/{step}/'")).unwrap();
+                    assert!(c.catalog_version() > v_before);
+                }
+            }
+        }
+        // Every exit path unregisters: dropping the remaining handles
+        // leaves no live sessions, no gauge residue, no open spans.
+        slots.iter_mut().for_each(|s| *s = None);
+        assert_eq!(c.session_manager().active_count(), 0, "session leak");
+        assert_eq!(c.trace().gauge_value("sessions.active"), 0);
+        assert_eq!(c.trace().open_spans(), 0, "session schedule leaked spans");
+        // Hit/miss accounting is coherent: every probe is one or the other.
+        let (hits, misses) = c.result_cache_stats();
+        assert_eq!(
+            hits + misses,
+            c.trace().counter_value("result_cache.hits")
+                + c.trace().counter_value("result_cache.misses"),
+            "cache counters diverged from telemetry"
+        );
+    });
+}
+
+#[test]
+fn session_wire_disconnect_never_leaks() {
+    use redshift_sim::frontdoor::{FrontDoor, ServerOpts, WireClient};
+
+    // Randomized mix of polite and abrupt wire disconnects, some with a
+    // statement in flight; afterwards the server must be fully clean.
+    let gen = prop::vec_of(prop::range(0usize..3), 2..10);
+    let cfg = Config::with_cases(8).regressions_file(regressions());
+    prop::check("session_wire_disconnect", &cfg, &gen, |plan| {
+        let c = Cluster::launch(ClusterConfig::new("wiredrop").nodes(2).slices_per_node(2))
+            .unwrap();
+        c.execute("CREATE TABLE t (k BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let door = FrontDoor::serve(Arc::clone(&c), ServerOpts::default()).unwrap();
+        for &kind in plan {
+            let mut client = WireClient::connect(door.addr(), "w", None).unwrap();
+            match kind {
+                0 => {
+                    client.query("SELECT COUNT(*) FROM t").unwrap();
+                    client.bye().unwrap();
+                }
+                1 => drop(client), // abrupt, idle
+                _ => {
+                    client.query("SELECT SUM(k) FROM t").unwrap();
+                    drop(client); // abrupt, right after a statement
+                }
+            }
+        }
+        assert!(door.drain(), "drain timed out");
+        assert_eq!(c.session_manager().active_count(), 0, "wire session leak");
+        assert_eq!(c.trace().gauge_value("sessions.active"), 0);
+        assert_eq!(c.trace().gauge_value("frontdoor.connections"), 0);
+        assert_eq!(c.trace().open_spans(), 0, "wire handler leaked spans");
     });
 }
