@@ -24,7 +24,9 @@ echo "ok: all dependencies are workspace-local"
 
 echo "== hermeticity guard: redsim-obs is a leaf (no deps at all) =="
 # The observability substrate must stay pure-std: instrumenting a hot
-# path can never be the reason a build grows a dependency.
+# path can never be the reason a build grows a dependency. This covers
+# the histogram module too — quantile sketches are a classic excuse to
+# pull in a stats crate, and the log-bucketed in-tree one is enough.
 obs_deps=$(cargo tree -p redsim-obs --offline --edges normal --prefix none \
   | sort -u | grep -v '^redsim-obs ' | grep -v '^\s*$' || true)
 if [ -n "$obs_deps" ]; then
@@ -100,6 +102,19 @@ echo "== session + result cache invariants (quick property pass) =="
 # disconnects (in-process and over the wire) leak no sessions or spans.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties session_
 
+echo "== qmr invariants (quick property pass) =="
+# Query-monitoring rules: abort never fires on EXPLAIN / EXPLAIN
+# ANALYZE / system-table reads (they bypass WLM), rule-hops and
+# max_wait timeout-hops both land in stl_wlm_query.hops, and rule
+# evaluation under the chaos harness leaks no spans or WLM slots.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties qmr_
+
+echo "== profiler invariants (quick property pass) =="
+# svl_query_report row count == queries x slices x steps for a pinned
+# workload (and zero with profiling off); EXPLAIN ANALYZE annotates
+# every plan line with actual rows + time and allocates no query id.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties profile_
+
 echo "== frontdoor wire-server smoke (64 concurrent sessions) =="
 # The concurrent TCP server end to end: 64 clients, backlog rejection
 # with a retryable THROTTLE, typed errors over the wire, graceful drain.
@@ -112,6 +127,16 @@ echo "== result-cache bench baseline is honored (benchdiff gate) =="
 # the two files are identical and the gate is a no-op.
 cargo run -q --offline -p redsim-bench --bin benchdiff -- \
   results/result_cache_baseline.csv results/result_cache.csv
+
+echo "== profiler overhead stays within 15% (benchdiff gate) =="
+# The profiler-overhead bench writes two CSVs with identical keys —
+# the same query mix with per-step profiling off (baseline) and on.
+# benchdiff's default 15% threshold IS the overhead budget: if
+# profiling ever costs more than 15% p50 on any bench in the mix,
+# this gate fails. Regenerate both files with
+#   cargo bench --offline -p redsim-bench --bench profiler_overhead
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/profiler_overhead_off.csv results/profiler_overhead_on.csv
 
 echo "== write atomicity (failure-injection gate) =="
 # The pinned rollback scenarios: permanent mirror fault mid-COPY,
@@ -135,5 +160,14 @@ if cargo run -q --offline -p redsim-bench --bin benchdiff -- "$bd_dir/base.csv" 
   exit 1
 fi
 echo "ok: benchdiff gates p50 regressions"
+# A blown-out tail with a flat median: the default p50 gate must pass,
+# --p99 must fail.
+sed 's/1200\.0/2000.0/' "$bd_dir/base.csv" > "$bd_dir/tail.csv"
+cargo run -q --offline -p redsim-bench --bin benchdiff -- "$bd_dir/base.csv" "$bd_dir/tail.csv"
+if cargo run -q --offline -p redsim-bench --bin benchdiff -- --p99 "$bd_dir/base.csv" "$bd_dir/tail.csv"; then
+  echo "error: benchdiff --p99 failed to flag a 67% tail regression" >&2
+  exit 1
+fi
+echo "ok: benchdiff --p99 gates tail regressions the p50 gate misses"
 
 echo "== ci green =="

@@ -1,0 +1,128 @@
+//! Profiler-overhead ablation: the same query mix against two clusters
+//! that differ only in `query_profiling(on/off)`.
+//!
+//! Per-step, per-slice profiling (`svl_query_report`) is on by default,
+//! so its cost rides on every query. This bench writes two CSVs with
+//! identical `(group, bench, input)` keys —
+//! `results/profiler_overhead_off.csv` (baseline) and
+//! `results/profiler_overhead_on.csv` — so the standard benchdiff gate
+//!
+//! ```text
+//! benchdiff results/profiler_overhead_off.csv results/profiler_overhead_on.csv
+//! ```
+//!
+//! IS the overhead gate: any bench where profiling costs more than the
+//! default 15% threshold fails CI. Sessions run with the result cache
+//! off so every iteration actually executes (a cache hit never reaches
+//! the executor and would hide the profiler entirely).
+
+use redsim_core::{Cluster, ClusterConfig, Session, SessionOpts};
+use redsim_testkit::bench::Bench;
+use std::sync::Arc;
+
+/// The mix leans on multi-step plans: profiling cost scales with
+/// steps × slices, so a bare scan would understate it.
+const MIX: [&str; 3] = [
+    "SELECT COUNT(*) FROM events",
+    "SELECT k, COUNT(*) AS n, SUM(v) FROM events GROUP BY k ORDER BY n DESC LIMIT 5",
+    "SELECT d.name, COUNT(*) FROM events e JOIN dims d ON e.k = d.id GROUP BY d.name",
+];
+
+fn launch(profiling: bool) -> Arc<Cluster> {
+    let name = if profiling { "prof-on" } else { "prof-off" };
+    let cl = Cluster::launch(
+        ClusterConfig::new(name).nodes(1).slices_per_node(2).query_profiling(profiling),
+    )
+    .unwrap();
+    cl.execute("CREATE TABLE events (k BIGINT, v BIGINT) DISTKEY(k)").unwrap();
+    cl.execute("CREATE TABLE dims (id BIGINT, name VARCHAR) DISTSTYLE ALL").unwrap();
+    let mut csv = String::new();
+    for i in 0..20_000i64 {
+        csv.push_str(&format!("{},{}\n", i % 50, i));
+    }
+    cl.put_s3_object("ev/1", csv.into_bytes());
+    cl.execute("COPY events FROM 's3://ev/'").unwrap();
+    let mut dims = String::new();
+    for i in 0..50i64 {
+        dims.push_str(&format!("{},dim{}\n", i, i));
+    }
+    cl.put_s3_object("dm/1", dims.into_bytes());
+    cl.execute("COPY dims FROM 's3://dm/'").unwrap();
+    cl
+}
+
+/// Run the mix under the harness; `name` picks the output CSV. Both
+/// runs register the same group/bench keys so benchdiff matches rows.
+fn run(name: &str, sess: &Session) {
+    let mut b = Bench::new(name);
+    {
+        let mut g = b.group("profiler_overhead");
+        g.sample_size(10);
+        g.bench_function("scan_count", |bch| {
+            bch.iter(|| sess.query(MIX[0]).unwrap());
+        });
+        g.bench_function("group_sort_limit", |bch| {
+            bch.iter(|| sess.query(MIX[1]).unwrap());
+        });
+        g.bench_function("join_group", |bch| {
+            bch.iter(|| sess.query(MIX[2]).unwrap());
+        });
+        g.finish();
+    }
+    b.finish();
+}
+
+fn p50_ns(samples: &mut Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var("RSIM_BENCH_QUICK").is_ok();
+    let off = launch(false);
+    let on = launch(true);
+    let sess_off = off.connect(SessionOpts::new("mix").result_cache(false)).unwrap();
+    let sess_on = on.connect(SessionOpts::new("mix").result_cache(false)).unwrap();
+
+    run("profiler_overhead_off", &sess_off);
+    run("profiler_overhead_on", &sess_on);
+
+    // Manual p50 ablation over the whole mix, interleaved so drift hits
+    // both sides equally. The benchdiff gate reads the CSVs above; this
+    // print is the human-readable summary.
+    let reps = if quick { 8 } else { 60 };
+    let measure = |sess: &Session| {
+        let mut ns = Vec::with_capacity(reps * MIX.len());
+        for _ in 0..reps {
+            for q in MIX {
+                let t0 = std::time::Instant::now();
+                sess.query(q).unwrap();
+                ns.push(t0.elapsed().as_nanos());
+            }
+        }
+        p50_ns(&mut ns)
+    };
+    let base = measure(&sess_off);
+    let prof = measure(&sess_on);
+    let overhead_pct = (prof as f64 / base.max(1) as f64 - 1.0) * 100.0;
+    let report_rows = on
+        .query("SELECT COUNT(*) FROM svl_query_report")
+        .unwrap()
+        .rows[0]
+        .get(0)
+        .as_i64()
+        .unwrap();
+    println!(
+        "\nAblation — per-step profiler on the query mix:\n  \
+         p50 profiling-off={base}ns profiling-on={prof}ns → {overhead_pct:+.1}% overhead\n  \
+         svl_query_report rows accumulated: {report_rows}",
+    );
+    if !quick {
+        // Loose sanity bound; the precise ≤15% gate is benchdiff over
+        // the two CSVs in ci.sh.
+        assert!(
+            overhead_pct < 100.0,
+            "profiler overhead blew up: {overhead_pct:.1}% (p50 {base}ns -> {prof}ns)"
+        );
+    }
+}

@@ -1,8 +1,10 @@
 //! Compare two bench-run CSVs (as written by the testkit bench harness
 //! into `results/`) and fail on p50 regressions beyond a threshold.
+//! `--p99` gates the tail instead — useful with the histogram exports,
+//! where a flat median can hide a blown-out p99.
 //!
 //! ```text
-//! benchdiff [--threshold PCT] BASE.csv NEW.csv
+//! benchdiff [--threshold PCT] [--p99] BASE.csv NEW.csv
 //! ```
 //!
 //! Exit codes: `0` no regression beyond threshold, `1` at least one
@@ -22,18 +24,20 @@
 //! cargo run --offline -p redsim-bench --bin benchdiff -- /tmp/base.csv results/ablations.csv
 //! ```
 
-use redsim_testkit::bench::{diff_p50, fmt_ns, parse_csv};
+use redsim_testkit::bench::{diff_stat, fmt_ns, parse_csv, DiffStat};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: benchdiff [--threshold PCT] BASE.csv NEW.csv";
+const USAGE: &str = "usage: benchdiff [--threshold PCT] [--p99] BASE.csv NEW.csv";
 const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 
 fn main() -> ExitCode {
     let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut stat = DiffStat::P50;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--p99" => stat = DiffStat::P99,
             "--threshold" | "-t" => {
                 let Some(v) = args.next() else {
                     eprintln!("error: --threshold needs a value\n{USAGE}");
@@ -49,7 +53,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
-                println!("  --threshold PCT  fail on p50 regressions above PCT percent (default {DEFAULT_THRESHOLD_PCT})");
+                println!("  --threshold PCT  fail on regressions above PCT percent (default {DEFAULT_THRESHOLD_PCT})");
+                println!("  --p99            gate the p99 tail instead of the p50 median");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -77,12 +82,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let (common, only_base, only_new) = diff_p50(&base, &new);
+    let (common, only_base, only_new) = diff_stat(&base, &new, stat);
     println!(
-        "benchdiff: {} matched, {} only in base, {} only in new (threshold {threshold}%)",
+        "benchdiff: {} matched, {} only in base, {} only in new ({} threshold {threshold}%)",
         common.len(),
         only_base.len(),
-        only_new.len()
+        only_new.len(),
+        stat.label()
     );
     let mut regressions = 0usize;
     for d in &common {
@@ -95,10 +101,11 @@ fn main() -> ExitCode {
             "ok"
         };
         println!(
-            "  {:<52} p50 {:>9} -> {:>9}  {:+7.1}%  {verdict}",
+            "  {:<52} {} {:>9} -> {:>9}  {:+7.1}%  {verdict}",
             d.key,
-            fmt_ns(d.base_p50_ns),
-            fmt_ns(d.new_p50_ns),
+            stat.label(),
+            fmt_ns(d.base_ns),
+            fmt_ns(d.new_ns),
             d.delta_pct
         );
     }
@@ -109,9 +116,12 @@ fn main() -> ExitCode {
         println!("  {k:<52} (new — present only in new)");
     }
     if regressions > 0 {
-        eprintln!("benchdiff: {regressions} p50 regression(s) beyond {threshold}%");
+        eprintln!(
+            "benchdiff: {regressions} {} regression(s) beyond {threshold}%",
+            stat.label()
+        );
         return ExitCode::FAILURE;
     }
-    println!("benchdiff: no p50 regressions beyond {threshold}%");
+    println!("benchdiff: no {} regressions beyond {threshold}%", stat.label());
     ExitCode::SUCCESS
 }

@@ -8,7 +8,7 @@ use crate::loader;
 use crate::result_cache::{CachedResult, ResultCache};
 use crate::session::{Session, SessionCtx, SessionManager, SessionOpts};
 use crate::systables::{self, SystemTables};
-use crate::wlm::WlmController;
+use crate::wlm::{QmrStats, WlmController};
 use redsim_obs::{AttrValue, TraceSink, LVL_CORE, LVL_DETAIL, LVL_PHASE};
 use redsim_testkit::sync::{Mutex, RwLock};
 use redsim_testkit::rng::Pcg32;
@@ -23,7 +23,7 @@ use redsim_replication::{
     BackupManager, ReplicatedStore, S3Sim, SnapshotInfo, SnapshotKind, StreamingRestoreStore,
 };
 use redsim_sql::ast::{self, Statement};
-use redsim_sql::plan::OutCol;
+use redsim_sql::plan::{LogicalPlan, OutCol};
 use redsim_sql::{optimizer, Binder};
 use redsim_storage::stats::TableStats;
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec, WriteCheckpoint};
@@ -38,6 +38,32 @@ pub enum ClusterState {
     ReadOnly,
     /// Replaced by a resize target; rejects everything.
     Decommissioned,
+}
+
+/// How a SELECT is being run: for real, plan-only (`EXPLAIN`), or for
+/// real with the annotated plan as the result (`EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SelectMode {
+    Execute,
+    ExplainOnly,
+    ExplainAnalyze,
+}
+
+/// Does any join in the plan carry a non-equi residual predicate? That
+/// is this repo's analogue of QMR's `nested_loop_join` condition: the
+/// residual is evaluated row-by-row after the hash match.
+fn plan_has_residual_join(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => plan_has_residual_join(input),
+        LogicalPlan::Join { left, right, residual, .. } => {
+            residual.is_some() || plan_has_residual_join(left) || plan_has_residual_join(right)
+        }
+    }
 }
 
 /// Result of a SELECT (or EXPLAIN).
@@ -355,7 +381,7 @@ impl Cluster {
 
     fn execute_inner(&self, sql: &str, ctx: &SessionCtx) -> Result<ExecSummary> {
         match redsim_sql::parse(sql)? {
-            Statement::Select(_) | Statement::Explain(_) => {
+            Statement::Select(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
                 let r = self.query_with_ctx(sql, ctx)?;
                 Ok(ExecSummary {
                     rows_affected: r.rows.len() as u64,
@@ -431,10 +457,20 @@ impl Cluster {
         let stmt = redsim_sql::parse(sql)?;
         let parse_ns = t_parse.elapsed().as_nanos() as u64;
         match stmt {
-            Statement::Select(sel) => self.run_select(sql, &sel, false, parse_ns, ctx),
+            Statement::Select(sel) => {
+                self.run_select(sql, &sel, SelectMode::Execute, parse_ns, ctx)
+            }
             Statement::Explain(inner) => match *inner {
-                Statement::Select(sel) => self.run_select(sql, &sel, true, parse_ns, ctx),
+                Statement::Select(sel) => {
+                    self.run_select(sql, &sel, SelectMode::ExplainOnly, parse_ns, ctx)
+                }
                 _ => Err(RsError::Unsupported("EXPLAIN supports SELECT only".into())),
+            },
+            Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(sel) => {
+                    self.run_select(sql, &sel, SelectMode::ExplainAnalyze, parse_ns, ctx)
+                }
+                _ => Err(RsError::Unsupported("EXPLAIN ANALYZE supports SELECT only".into())),
             },
             _ => Err(RsError::Analysis("not a query; use execute()".into())),
         }
@@ -460,7 +496,7 @@ impl Cluster {
         &self,
         sql: &str,
         sel: &ast::Select,
-        explain_only: bool,
+        mode: SelectMode,
         parse_ns: u64,
         ctx: &SessionCtx,
     ) -> Result<QueryResult> {
@@ -473,13 +509,13 @@ impl Cluster {
                     "joining system tables with user tables is not supported".into(),
                 ));
             }
-            return self.run_system_select(sel, &refs, explain_only);
+            return self.run_system_select(sel, &refs, mode == SelectMode::ExplainOnly);
         }
         // Leader result cache: probed before WLM admission, planning, or
-        // any data lock — a hit costs one hash lookup. EXPLAIN and
-        // system-table reads never participate; a session can opt out
-        // (and the sessionless compat path always does).
-        let cacheable = !explain_only && ctx.use_result_cache;
+        // any data lock — a hit costs one hash lookup. EXPLAIN (both
+        // flavors) and system-table reads never participate; a session
+        // can opt out (and the sessionless compat path always does).
+        let cacheable = mode == SelectMode::Execute && ctx.use_result_cache;
         if cacheable {
             let version = self.catalog_version();
             if let Some(hit) = self.result_cache.get(sql, ctx.user_group.as_deref(), version) {
@@ -489,23 +525,24 @@ impl Cluster {
         }
         // WLM admission (§2.1): hold a service-class concurrency slot
         // before taking any data lock, so a queued query starves neither
-        // writers nor the queries already running. EXPLAIN is
-        // metadata-only and bypasses admission; system-table reads above
-        // bypass it too, so queue state stays observable when every slot
-        // is busy.
-        let wlm_guard = if explain_only {
-            None
-        } else {
+        // writers nor the queries already running. EXPLAIN and EXPLAIN
+        // ANALYZE are diagnostics and bypass admission (so monitoring
+        // rules — including abort — can never fire on them); system-table
+        // reads above bypass it too, so queue state stays observable when
+        // every slot is busy.
+        let mut wlm_guard = if mode == SelectMode::Execute {
             Some(self.wlm.admit(self.estimate_cost(&refs), ctx.user_group.as_deref())?)
+        } else {
+            None
         };
         let queue_wait_ns = wlm_guard.as_ref().map_or(0, |g| g.queue_wait_ns());
         // Root span for stl_query: LVL_CORE records even at RSIM_TRACE=0.
-        // EXPLAIN is metadata-only and is not logged (as in the real
-        // STL_QUERY, which records executed queries).
-        let mut qspan = if explain_only {
-            redsim_obs::Span::disabled()
-        } else {
+        // EXPLAIN / EXPLAIN ANALYZE are diagnostics and are not logged
+        // (as in the real STL_QUERY, which records executed queries).
+        let mut qspan = if mode == SelectMode::Execute {
             self.trace.span(LVL_CORE, "query")
+        } else {
+            redsim_obs::Span::disabled()
         };
         qspan.child_completed(LVL_PHASE, "query.parse", parse_ns, &[]);
         if queue_wait_ns > 0 {
@@ -522,9 +559,13 @@ impl Cluster {
             pspan.finish();
             (plan, plan_text)
         };
-        self.usage.record_feature(if explain_only { "EXPLAIN" } else { "SELECT" });
+        self.usage.record_feature(match mode {
+            SelectMode::Execute => "SELECT",
+            SelectMode::ExplainOnly => "EXPLAIN",
+            SelectMode::ExplainAnalyze => "EXPLAIN ANALYZE",
+        });
         self.usage.record_plan_shape(autonomics::plan_shape(&plan_text));
-        if explain_only {
+        if mode == SelectMode::ExplainOnly {
             let columns = vec![OutCol { name: "QUERY PLAN".into(), ty: DataType::Varchar }];
             let rows = plan_text
                 .lines()
@@ -556,20 +597,115 @@ impl Cluster {
         };
         let fabric = ComputeFabric { cluster: self, catalog: &catalog };
         let mut espan = qspan.child(LVL_PHASE, "query.exec");
+        // Per-step profiling feeds `svl_query_report`; EXPLAIN ANALYZE
+        // needs it regardless of the cluster-wide setting.
+        let profiling = mode == SelectMode::ExplainAnalyze
+            || (mode == SelectMode::Execute && self.config.profile_queries);
         let t_exec = std::time::Instant::now();
         let mut out = {
-            let executor = Executor::new(&fabric).with_trace(&espan);
+            let executor =
+                Executor::new(&fabric).with_trace(&espan).with_profiling(profiling);
             executor.run(&compiled.plan)?
         };
         let exec_ns = t_exec.elapsed().as_nanos() as u64;
         out.metrics.queue_wait_ns = queue_wait_ns;
+        out.metrics.exec_ns = exec_ns;
+        out.metrics.compile_ns = compile_ns;
         if espan.is_recording() {
             espan.attr("slices", self.topology.total_slices());
             espan.attr("rows_out", out.rows.len());
         }
         espan.finish();
+        // Query id is allocated only for logged (executed) queries, and
+        // shared between the `stl_query` row and its `svl_query_report`
+        // step rows.
+        let qid = if qspan.is_recording() {
+            self.query_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+        } else {
+            0
+        };
+        // Query-monitoring rules, merge point: evaluated on the leader
+        // while the service-class slot is still held, against the final
+        // execution metrics. A hop re-homes the slot; an abort releases
+        // it and fails the query (results are discarded leader-side —
+        // compute work is already sunk, as in the real QMR).
+        if let Some(g) = wlm_guard.as_mut() {
+            let stats = QmrStats {
+                exec_ns,
+                queue_ns: queue_wait_ns,
+                rows_scanned: out.metrics.rows_scanned,
+                bytes_scanned: out.metrics.bytes_read,
+                nested_loop_join: plan_has_residual_join(&compiled.plan),
+            };
+            if let Err(e) = g.evaluate_rules(&stats) {
+                if qspan.is_recording() {
+                    qspan.attr("query", qid);
+                    qspan.attr("querytxt", sql);
+                    qspan.attr("rows", 0u64);
+                    qspan.attr("aborted", true);
+                    qspan.attr("userid", ctx.userid);
+                    qspan.attr("session", ctx.session_id);
+                }
+                qspan.finish();
+                return Err(e);
+            }
+        }
+        // Per-step report rows ride the trace as standalone spans so the
+        // existing retention machinery bounds them like everything else.
+        if mode == SelectMode::Execute && profiling {
+            for s in &out.profile {
+                self.trace.span_completed(
+                    LVL_CORE,
+                    "profile.step",
+                    s.elapsed_ns,
+                    &[
+                        ("query", AttrValue::I64(qid as i64)),
+                        ("step", AttrValue::U64(s.step as u64)),
+                        ("slice", AttrValue::U64(s.slice as u64)),
+                        ("label", AttrValue::Str(s.label.clone())),
+                        ("rows", AttrValue::U64(s.rows)),
+                        ("bytes", AttrValue::U64(s.bytes)),
+                    ],
+                );
+            }
+        }
+        if mode == SelectMode::ExplainAnalyze {
+            // Fold the per-slice profile per step: rows sum across
+            // slices; elapsed is inclusive wall time, so take the max.
+            let n = compiled.plan.num_steps();
+            let mut step_rows = vec![0u64; n + 1];
+            let mut step_ns = vec![0u64; n + 1];
+            for s in &out.profile {
+                if s.step <= n {
+                    step_rows[s.step] += s.rows;
+                    step_ns[s.step] = step_ns[s.step].max(s.elapsed_ns);
+                }
+            }
+            let columns = vec![OutCol { name: "QUERY PLAN".into(), ty: DataType::Varchar }];
+            let rows = plan_text
+                .lines()
+                .enumerate()
+                .map(|(i, l)| {
+                    let step = i + 1;
+                    Row::new(vec![Value::Str(format!(
+                        "{} (actual rows={} time={:.3}ms)",
+                        l,
+                        step_rows.get(step).copied().unwrap_or(0),
+                        *step_ns.get(step).unwrap_or(&0) as f64 / 1e6,
+                    ))])
+                })
+                .collect();
+            return Ok(QueryResult {
+                columns,
+                rows,
+                metrics: out.metrics,
+                plan: plan_text,
+                cache_hit,
+                result_cache_hit: false,
+            });
+        }
+        self.trace.histogram("query.exec_ns").record(exec_ns);
         if qspan.is_recording() {
-            let qid = self.query_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             let m = &out.metrics;
             qspan.attr("query", qid);
             qspan.attr("querytxt", sql);
@@ -928,6 +1064,7 @@ impl Cluster {
         if keys.is_empty() {
             return Err(RsError::NotFound(format!("no objects under s3://{prefix}")));
         }
+        let t_copy = std::time::Instant::now();
         let mut span = self.trace.span(LVL_PHASE, "copy");
         if span.is_recording() {
             span.attr("table", c.table.clone());
@@ -1079,6 +1216,7 @@ impl Cluster {
         // invalidates the result cache — the PR-5 atomicity contract.
         self.bump_catalog_version();
         self.trace.counter("copy.rows_loaded").add(loaded);
+        self.trace.histogram("copy.duration_ns").record(t_copy.elapsed().as_nanos() as u64);
         Ok(ExecSummary { rows_affected: loaded, message: format!("COPY {loaded}") })
     }
 

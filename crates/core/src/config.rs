@@ -52,6 +52,10 @@ pub struct ClusterConfig {
     pub result_cache_capacity: usize,
     /// Results with more rows than this are never cached.
     pub result_cache_max_rows: usize,
+    /// Record per-step, per-slice execution profiles (`svl_query_report`)
+    /// for every query. On by default — the profiler-overhead bench
+    /// gates the cost; `EXPLAIN ANALYZE` profiles regardless.
+    pub profile_queries: bool,
 }
 
 impl ClusterConfig {
@@ -74,6 +78,7 @@ impl ClusterConfig {
             wlm: WlmConfig::default(),
             result_cache_capacity: 128,
             result_cache_max_rows: 10_000,
+            profile_queries: true,
         }
     }
 
@@ -155,6 +160,13 @@ impl ClusterConfig {
     /// Row-count ceiling above which a result is not cached.
     pub fn result_cache_max_rows(mut self, rows: usize) -> Self {
         self.result_cache_max_rows = rows;
+        self
+    }
+
+    /// Toggle per-step query profiling (the profiler-overhead ablation
+    /// compares the two settings).
+    pub fn query_profiling(mut self, on: bool) -> Self {
+        self.profile_queries = on;
         self
     }
 

@@ -41,4 +41,4 @@ pub use cluster::{Cluster, ExecSummary, QueryResult};
 pub use config::ClusterConfig;
 pub use result_cache::ResultCache;
 pub use session::{ConnEvent, Session, SessionManager, SessionOpts};
-pub use wlm::{ServiceClassState, WlmConfig, WlmController, WlmQueueDef};
+pub use wlm::{QmrAction, QmrMetric, QmrRule, ServiceClassState, WlmConfig, WlmController, WlmQueueDef};

@@ -18,6 +18,8 @@
 //! | `stl_fault_event`   | (simulator-only)    | [`FaultRegistry`] event ring |
 //! | `stv_sessions`      | `STV_SESSIONS`      | live [`SessionManager`] state |
 //! | `stl_connection_log`| `STL_CONNECTION_LOG`| [`SessionManager`] event ring |
+//! | `svl_query_report`  | `SVL_QUERY_REPORT`  | `profile.step` spans (one row per query × slice × step) |
+//! | `stl_wlm_rule_action` | `STL_WLM_RULE_ACTION` | `wlm_rule_action` spans (QMR firings) |
 
 use crate::session::SessionManager;
 use crate::wlm::WlmController;
@@ -29,7 +31,7 @@ use redsim_obs::{SpanRecord, TraceSink};
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
 
 /// The virtual tables the leader recognizes.
-pub const SYSTEM_TABLES: [&str; 8] = [
+pub const SYSTEM_TABLES: [&str; 10] = [
     "stl_query",
     "stl_explain",
     "svl_query_metrics",
@@ -38,6 +40,8 @@ pub const SYSTEM_TABLES: [&str; 8] = [
     "stl_fault_event",
     "stv_sessions",
     "stl_connection_log",
+    "svl_query_report",
+    "stl_wlm_rule_action",
 ];
 
 /// Is `name` a leader-side system table?
@@ -121,6 +125,24 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("user_name", DataType::Varchar),
             ColumnDef::new("at_us", DataType::Int8),
             ColumnDef::new("duration_us", DataType::Int8),
+        ],
+        "svl_query_report" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("slice", DataType::Int8),
+            ColumnDef::new("step", DataType::Int8),
+            ColumnDef::new("label", DataType::Varchar),
+            ColumnDef::new("rows", DataType::Int8),
+            ColumnDef::new("bytes", DataType::Int8),
+            ColumnDef::new("elapsed_us", DataType::Int8),
+        ],
+        "stl_wlm_rule_action" => vec![
+            ColumnDef::new("query", DataType::Int8),
+            ColumnDef::new("service_class", DataType::Varchar),
+            ColumnDef::new("rule", DataType::Varchar),
+            ColumnDef::new("metric", DataType::Varchar),
+            ColumnDef::new("value", DataType::Int8),
+            ColumnDef::new("threshold", DataType::Int8),
+            ColumnDef::new("action", DataType::Varchar),
         ],
         _ => unreachable!("not a system table: {table}"),
     };
@@ -234,6 +256,46 @@ fn materialize(
                     Value::Str(ev.user),
                     Value::Int8(ev.at_us as i64),
                     Value::Int8(ev.duration_us as i64),
+                ]);
+            }
+            return cols;
+        }
+        "svl_query_report" => {
+            // One row per query × slice × step, from the standalone
+            // `profile.step` spans the leader emits after execution.
+            let mut spans = sink.records_named("profile.step");
+            spans.sort_by_key(|r| {
+                (
+                    r.attr_u64("query").unwrap_or(0),
+                    r.attr_u64("slice").unwrap_or(0),
+                    r.attr_u64("step").unwrap_or(0),
+                )
+            });
+            for r in spans {
+                push(vec![
+                    Value::Int8(u64_attr(&r, "query")),
+                    Value::Int8(u64_attr(&r, "slice")),
+                    Value::Int8(u64_attr(&r, "step")),
+                    Value::Str(r.attr_str("label").unwrap_or("").to_string()),
+                    Value::Int8(u64_attr(&r, "rows")),
+                    Value::Int8(u64_attr(&r, "bytes")),
+                    Value::Int8((r.dur_ns / 1_000) as i64),
+                ]);
+            }
+            return cols;
+        }
+        "stl_wlm_rule_action" => {
+            let mut spans = sink.records_named("wlm_rule_action");
+            spans.sort_by_key(|r| r.attr_u64("query").unwrap_or(0));
+            for r in spans {
+                push(vec![
+                    Value::Int8(u64_attr(&r, "query")),
+                    Value::Str(r.attr_str("service_class").unwrap_or("").to_string()),
+                    Value::Str(r.attr_str("rule").unwrap_or("").to_string()),
+                    Value::Str(r.attr_str("metric").unwrap_or("").to_string()),
+                    Value::Int8(u64_attr(&r, "value")),
+                    Value::Int8(u64_attr(&r, "threshold")),
+                    Value::Str(r.attr_str("action").unwrap_or("").to_string()),
                 ]);
             }
             return cols;
@@ -396,6 +458,8 @@ mod tests {
         assert!(is_system_table("stl_fault_event"));
         assert!(is_system_table("stv_sessions"));
         assert!(is_system_table("STL_CONNECTION_LOG"));
+        assert!(is_system_table("svl_query_report"));
+        assert!(is_system_table("STL_WLM_RULE_ACTION"));
         assert!(!is_system_table("users"));
     }
 
@@ -510,6 +574,44 @@ mod tests {
         let steps = &out.batches[0][1];
         assert_eq!(steps.len(), 2, "two plan lines → two rows");
         assert_eq!(out.batches[0][2].get(1).as_str(), Some("  Seq Scan"));
+    }
+
+    #[test]
+    fn svl_query_report_materializes_profile_steps() {
+        use redsim_obs::AttrValue;
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        // Backdated spans are clipped to the sink's epoch; make sure the
+        // sink is old enough to hold a 5µs span.
+        while sink.now_ns() < 5_000 {
+            std::hint::spin_loop();
+        }
+        for slice in 0..2u64 {
+            for step in 1..=2u64 {
+                sink.span_completed(
+                    LVL_CORE,
+                    "profile.step",
+                    5_000,
+                    &[
+                        ("query", AttrValue::I64(1)),
+                        ("step", AttrValue::U64(step)),
+                        ("slice", AttrValue::U64(slice)),
+                        ("label", AttrValue::Str("Seq Scan on t".into())),
+                        ("rows", AttrValue::U64(10 * step)),
+                        ("bytes", AttrValue::U64(80)),
+                    ],
+                );
+            }
+        }
+        let sys = SystemTables::capture(&sink, None, None, None, &["svl_query_report"]);
+        let out = sys
+            .scan_slice("svl_query_report", 0, &[0, 1, 2, 3, 6], &ScanPredicate::default())
+            .unwrap();
+        let b = &out.batches[0];
+        assert_eq!(b[0].len(), 4, "one row per query × slice × step");
+        assert_eq!(b[1].get(0).as_i64(), Some(0), "sorted by (query, slice, step)");
+        assert_eq!(b[2].get(1).as_i64(), Some(2));
+        assert_eq!(b[3].get(0).as_str(), Some("Seq Scan on t"));
+        assert_eq!(b[4].get(0).as_i64(), Some(5), "dur_ns → elapsed_us");
     }
 
     #[test]

@@ -33,6 +33,100 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// The metric a query-monitoring rule watches. Time metrics are
+/// nanoseconds (matching every other duration in the simulator);
+/// `NestedLoopJoin` is a boolean predicate (value 1 when the plan
+/// contains a join with non-equi residual conjuncts — all joins here
+/// are hash equi-joins, so a residual is the closest analogue of the
+/// real system's nested-loop warning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QmrMetric {
+    QueryExecTime,
+    QueryQueueTime,
+    RowsScanned,
+    BytesScanned,
+    NestedLoopJoin,
+}
+
+impl QmrMetric {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QmrMetric::QueryExecTime => "query_exec_time",
+            QmrMetric::QueryQueueTime => "query_queue_time",
+            QmrMetric::RowsScanned => "rows_scanned",
+            QmrMetric::BytesScanned => "bytes_scanned",
+            QmrMetric::NestedLoopJoin => "nested_loop_join",
+        }
+    }
+
+    /// When this metric becomes known: queue time at admission,
+    /// everything else at the slice-merge point after execution.
+    fn phase(self) -> QmrPhase {
+        match self {
+            QmrMetric::QueryQueueTime => QmrPhase::Admission,
+            _ => QmrPhase::Merge,
+        }
+    }
+
+    fn value(self, stats: &QmrStats) -> u64 {
+        match self {
+            QmrMetric::QueryExecTime => stats.exec_ns,
+            QmrMetric::QueryQueueTime => stats.queue_ns,
+            QmrMetric::RowsScanned => stats.rows_scanned,
+            QmrMetric::BytesScanned => stats.bytes_scanned,
+            QmrMetric::NestedLoopJoin => u64::from(stats.nested_loop_join),
+        }
+    }
+}
+
+/// What a fired rule does. Ordered weakest-to-strongest: when several
+/// rules fire at once every firing is logged, but only the strongest
+/// action is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QmrAction {
+    /// Record the firing in `stl_wlm_rule_action`, nothing else.
+    Log,
+    /// Move the query to the next wider queue (reuses hop machinery).
+    Hop,
+    /// Terminate the query with an error (leader-side only).
+    Abort,
+}
+
+impl QmrAction {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QmrAction::Log => "log",
+            QmrAction::Hop => "hop",
+            QmrAction::Abort => "abort",
+        }
+    }
+}
+
+/// One query-monitoring rule: fire when `metric > threshold`.
+#[derive(Debug, Clone)]
+pub struct QmrRule {
+    pub name: String,
+    pub metric: QmrMetric,
+    pub threshold: u64,
+    pub action: QmrAction,
+}
+
+/// Live query metrics handed to rule evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct QmrStats {
+    pub exec_ns: u64,
+    pub queue_ns: u64,
+    pub rows_scanned: u64,
+    pub bytes_scanned: u64,
+    pub nested_loop_join: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QmrPhase {
+    Admission,
+    Merge,
+}
+
 /// One named service class (queue).
 #[derive(Debug, Clone)]
 pub struct WlmQueueDef {
@@ -50,6 +144,8 @@ pub struct WlmQueueDef {
     /// Route queries whose estimated cost is at most this. `None`
     /// means the queue accepts any cost (catch-all).
     pub max_cost: Option<u64>,
+    /// Query-monitoring rules for queries running in this class.
+    pub rules: Vec<QmrRule>,
 }
 
 impl WlmQueueDef {
@@ -63,6 +159,7 @@ impl WlmQueueDef {
             max_wait: Duration::from_secs(30),
             user_groups: Vec::new(),
             max_cost: None,
+            rules: Vec::new(),
         }
     }
 
@@ -87,6 +184,18 @@ impl WlmQueueDef {
     /// Builder: route queries with estimated cost ≤ `cost` here.
     pub fn max_cost(mut self, cost: u64) -> WlmQueueDef {
         self.max_cost = Some(cost);
+        self
+    }
+
+    /// Builder: add a monitoring rule (`metric > threshold` → `action`).
+    pub fn rule(
+        mut self,
+        name: impl Into<String>,
+        metric: QmrMetric,
+        threshold: u64,
+        action: QmrAction,
+    ) -> WlmQueueDef {
+        self.rules.push(QmrRule { name: name.into(), metric, threshold, action });
         self
     }
 }
@@ -164,6 +273,8 @@ enum Outcome {
     Completed,
     Evicted,
     Rejected,
+    /// Terminated by a monitoring rule with action `abort`.
+    Aborted,
 }
 
 impl Outcome {
@@ -172,6 +283,7 @@ impl Outcome {
             Outcome::Completed => "Completed",
             Outcome::Evicted => "Evicted",
             Outcome::Rejected => "Rejected",
+            Outcome::Aborted => "Aborted",
         }
     }
 }
@@ -186,6 +298,8 @@ struct QueueState {
     /// Timed-out waiters that restarted in a wider queue instead of
     /// being evicted (counted against the queue they left).
     hopped_out: u64,
+    /// Queries terminated by an `abort` monitoring rule.
+    aborted: u64,
     queue_wait_ns_total: u64,
 }
 
@@ -213,6 +327,8 @@ pub struct ServiceClassState {
     pub rejected: u64,
     /// Timed-out waiters that hopped out to a wider queue.
     pub hopped: u64,
+    /// Queries terminated by an `abort` monitoring rule.
+    pub aborted: u64,
     /// Mean queue wait over completed queries, microseconds.
     pub avg_queue_wait_us: u64,
 }
@@ -333,7 +449,7 @@ impl WlmController {
             inner.queues[qi].in_flight += 1;
             drop(inner);
             self.trace.counter("wlm.admitted").incr();
-            return Ok(WlmGuard {
+            let mut guard = WlmGuard {
                 ctl: Arc::clone(self),
                 lane: Lane::Queue(qi),
                 qid,
@@ -341,7 +457,12 @@ impl WlmController {
                 hops: 0,
                 admitted_at: Instant::now(),
                 done: false,
-            });
+            };
+            guard.eval_rules(
+                QmrPhase::Admission,
+                &QmrStats { queue_ns: 0, ..QmrStats::default() },
+            )?;
+            return Ok(guard);
         }
 
         // Bounded wait list.
@@ -381,7 +502,7 @@ impl WlmController {
                 drop(inner);
                 self.trace.counter("wlm.admitted").incr();
                 self.trace.counter("wlm.queued_admits").incr();
-                return Ok(WlmGuard {
+                let mut guard = WlmGuard {
                     ctl: Arc::clone(self),
                     lane: Lane::Queue(qi),
                     qid,
@@ -389,7 +510,14 @@ impl WlmController {
                     hops,
                     admitted_at: Instant::now(),
                     done: false,
-                });
+                };
+                // Admission-point rule evaluation: queue time is known
+                // the moment the slot is granted.
+                guard.eval_rules(
+                    QmrPhase::Admission,
+                    &QmrStats { queue_ns: wait_ns, ..QmrStats::default() },
+                )?;
+                return Ok(guard);
             }
             if now >= deadline {
                 if let Some(next) = self.next_hop(&inner, qi) {
@@ -454,7 +582,7 @@ impl WlmController {
                 inner.queues[qi].rejected += 1;
                 self.trace.counter("wlm.rejected").incr();
             }
-            Outcome::Completed => unreachable!("failures only"),
+            Outcome::Completed | Outcome::Aborted => unreachable!("failures only"),
         }
         self.emit_span(qid, &self.cfg.queues[qi].name, outcome, wait_ns, 0, false, hops);
     }
@@ -549,6 +677,7 @@ impl WlmController {
                 evicted: st.evicted,
                 rejected: st.rejected,
                 hopped: st.hopped_out,
+                aborted: st.aborted,
                 avg_queue_wait_us: if st.executed == 0 {
                     0
                 } else {
@@ -566,6 +695,7 @@ impl WlmController {
                 evicted: 0,
                 rejected: 0,
                 hopped: 0,
+                aborted: 0,
                 avg_queue_wait_us: 0,
             });
         }
@@ -578,6 +708,18 @@ impl WlmController {
     }
 
     fn release(&self, lane: Lane, qid: u64, wait_ns: u64, exec_ns: u64, hops: u64) {
+        self.release_with(lane, qid, wait_ns, exec_ns, hops, Outcome::Completed);
+    }
+
+    fn release_with(
+        &self,
+        lane: Lane,
+        qid: u64,
+        wait_ns: u64,
+        exec_ns: u64,
+        hops: u64,
+        outcome: Outcome,
+    ) {
         let mut inner = self.lock();
         let (name, sqa) = match lane {
             Lane::Sqa => {
@@ -587,15 +729,48 @@ impl WlmController {
             }
             Lane::Queue(qi) => {
                 inner.queues[qi].in_flight -= 1;
-                inner.queues[qi].executed += 1;
-                inner.queues[qi].queue_wait_ns_total += wait_ns;
+                match outcome {
+                    Outcome::Aborted => inner.queues[qi].aborted += 1,
+                    _ => {
+                        inner.queues[qi].executed += 1;
+                        inner.queues[qi].queue_wait_ns_total += wait_ns;
+                    }
+                }
                 (self.cfg.queues[qi].name.clone(), false)
             }
         };
         drop(inner);
         self.cv.notify_all();
-        self.trace.counter("wlm.completed").incr();
-        self.emit_span(qid, &name, Outcome::Completed, wait_ns, exec_ns, sqa, hops);
+        match outcome {
+            Outcome::Aborted => self.trace.counter("wlm.aborted").incr(),
+            _ => self.trace.counter("wlm.completed").incr(),
+        }
+        // Queue-wait distribution across every released admission (the
+        // `release` path sees all of them, SQA and queued alike).
+        self.trace.histogram("wlm.queue_wait_ns").record(wait_ns);
+        self.emit_span(qid, &name, outcome, wait_ns, exec_ns, sqa, hops);
+    }
+
+    /// Move a *running* query to the next wider queue because a
+    /// monitoring rule said so: the first queue after `qi` without a
+    /// user-group gate (those are only enterable via their groups).
+    /// Unlike a timed-out waiter hop, the query keeps running — the
+    /// target's `in_flight` may transiently exceed its slot count, the
+    /// price of not restarting work that is already done. Returns the
+    /// new queue index, or `None` when already in the last queue (the
+    /// hop degrades to a log-only firing).
+    fn rule_hop(&self, qi: usize) -> Option<usize> {
+        let next =
+            (qi + 1..self.cfg.queues.len()).find(|&j| self.cfg.queues[j].user_groups.is_empty())?;
+        let mut inner = self.lock();
+        inner.queues[qi].in_flight -= 1;
+        inner.queues[qi].hopped_out += 1;
+        inner.queues[next].in_flight += 1;
+        drop(inner);
+        // The vacated slot may admit a waiter.
+        self.cv.notify_all();
+        self.trace.counter("wlm.hops").incr();
+        Some(next)
     }
 }
 
@@ -638,6 +813,75 @@ impl WlmGuard {
         match self.lane {
             Lane::Sqa => "sqa",
             Lane::Queue(qi) => &self.ctl.cfg.queues[qi].name,
+        }
+    }
+
+    /// Evaluate this queue's monitoring rules against live execution
+    /// metrics — the slice-merge evaluation point. Every firing is
+    /// recorded as a `wlm_rule_action` span (→ `stl_wlm_rule_action`);
+    /// when several rules fire, the strongest action wins. Returns
+    /// `Err` when an `abort` rule fired (the slot is already released,
+    /// with state `Aborted` in `stl_wlm_query`).
+    pub fn evaluate_rules(&mut self, stats: &QmrStats) -> Result<()> {
+        self.eval_rules(QmrPhase::Merge, stats)
+    }
+
+    fn eval_rules(&mut self, phase: QmrPhase, stats: &QmrStats) -> Result<()> {
+        // SQA-lane admissions have no service class, hence no rules.
+        let Lane::Queue(qi) = self.lane else { return Ok(()) };
+        let fired: Vec<QmrRule> = self.ctl.cfg.queues[qi]
+            .rules
+            .iter()
+            .filter(|r| r.metric.phase() == phase && r.metric.value(stats) > r.threshold)
+            .cloned()
+            .collect();
+        if fired.is_empty() {
+            return Ok(());
+        }
+        let service_class = self.ctl.cfg.queues[qi].name.clone();
+        for r in &fired {
+            let mut span = self.ctl.trace.span(LVL_CORE, "wlm_rule_action");
+            span.attr("query", self.qid as i64);
+            span.attr("service_class", service_class.clone());
+            span.attr("rule", r.name.clone());
+            span.attr("metric", r.metric.as_str());
+            span.attr("value", r.metric.value(stats) as i64);
+            span.attr("threshold", r.threshold as i64);
+            span.attr("action", r.action.as_str());
+            self.ctl.trace.counter("wlm.rule_actions").incr();
+        }
+        let strongest = fired.iter().max_by_key(|r| r.action).unwrap().clone();
+        match strongest.action {
+            QmrAction::Log => Ok(()),
+            QmrAction::Hop => {
+                if let Some(next) = self.ctl.rule_hop(qi) {
+                    self.lane = Lane::Queue(next);
+                    self.hops += 1;
+                }
+                Ok(())
+            }
+            QmrAction::Abort => {
+                // Leader-side termination: release the slot now with an
+                // Aborted record; Drop sees `done` and stays quiet.
+                self.done = true;
+                let exec_ns = self.admitted_at.elapsed().as_nanos() as u64;
+                let ctl = Arc::clone(&self.ctl);
+                ctl.release_with(
+                    self.lane,
+                    self.qid,
+                    self.wait_ns,
+                    exec_ns,
+                    self.hops,
+                    Outcome::Aborted,
+                );
+                Err(RsError::InvalidState(format!(
+                    "wlm: query aborted by monitoring rule '{}' ({} {} > {})",
+                    strongest.name,
+                    strongest.metric.as_str(),
+                    strongest.metric.value(stats),
+                    strongest.threshold
+                )))
+            }
         }
     }
 }
@@ -825,6 +1069,109 @@ mod tests {
         assert!(c.wait_idle(Duration::from_secs(1)));
         c.reopen();
         assert!(c.admit(10, None).is_ok());
+    }
+
+    #[test]
+    fn qmr_hop_rule_moves_running_query_to_wider_queue() {
+        let cfg = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("narrow", 2)
+                .max_cost(100)
+                .rule("big_scan", QmrMetric::RowsScanned, 1_000, QmrAction::Hop),
+            WlmQueueDef::new("wide", 4),
+        ]);
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let c = Arc::new(WlmController::new(&cfg, Arc::clone(&sink)));
+        let mut g = c.admit(10, None).unwrap();
+        assert_eq!(g.service_class(), "narrow");
+        g.evaluate_rules(&QmrStats { rows_scanned: 50_000, ..QmrStats::default() }).unwrap();
+        assert_eq!(g.service_class(), "wide", "rule hop moved the running query");
+        assert_eq!(g.hops(), 1);
+        let states = c.service_class_states();
+        assert_eq!(states[0].hopped, 1, "counted against the queue it left");
+        assert_eq!(states[0].in_flight, 0);
+        assert_eq!(states[1].in_flight, 1);
+        drop(g);
+        let firings = sink.records_named("wlm_rule_action");
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].attr_str("rule"), Some("big_scan"));
+        assert_eq!(firings[0].attr_str("action"), Some("hop"));
+        let recs = sink.records_named("wlm");
+        let done = recs.iter().find(|r| r.attr_str("state") == Some("Completed")).unwrap();
+        assert_eq!(done.attr_str("service_class"), Some("wide"));
+        assert_eq!(done.attr_i64("hops"), Some(1), "rule hop counts in stl_wlm_query.hops");
+    }
+
+    #[test]
+    fn qmr_abort_rule_releases_slot_and_errors() {
+        let cfg = WlmConfig::with_queues(vec![WlmQueueDef::new("strict", 2).rule(
+            "too_long",
+            QmrMetric::QueryExecTime,
+            1_000,
+            QmrAction::Abort,
+        )]);
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let c = Arc::new(WlmController::new(&cfg, Arc::clone(&sink)));
+        let mut g = c.admit(10, None).unwrap();
+        let err = g
+            .evaluate_rules(&QmrStats { exec_ns: 5_000_000, ..QmrStats::default() })
+            .unwrap_err();
+        assert!(err.to_string().contains("aborted by monitoring rule 'too_long'"), "{err}");
+        let st = &c.service_class_states()[0];
+        assert_eq!(st.in_flight, 0, "abort released the slot");
+        assert_eq!(st.aborted, 1);
+        assert_eq!(st.executed, 0, "an aborted query is not a completion");
+        drop(g); // Drop after abort must not double-release.
+        assert_eq!(c.service_class_states()[0].in_flight, 0);
+        let recs = sink.records_named("wlm");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].attr_str("state"), Some("Aborted"));
+        assert_eq!(sink.counter_value("wlm.aborted"), 1);
+    }
+
+    #[test]
+    fn qmr_all_firings_logged_but_strongest_action_wins() {
+        // A log rule and a hop rule both fire: both recorded, hop applied.
+        let cfg = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("narrow", 1)
+                .max_cost(100)
+                .rule("note_scan", QmrMetric::RowsScanned, 10, QmrAction::Log)
+                .rule("move_scan", QmrMetric::RowsScanned, 100, QmrAction::Hop),
+            WlmQueueDef::new("wide", 4),
+        ]);
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let c = Arc::new(WlmController::new(&cfg, Arc::clone(&sink)));
+        let mut g = c.admit(10, None).unwrap();
+        g.evaluate_rules(&QmrStats { rows_scanned: 500, ..QmrStats::default() }).unwrap();
+        assert_eq!(g.service_class(), "wide");
+        drop(g);
+        let firings = sink.records_named("wlm_rule_action");
+        assert_eq!(firings.len(), 2, "every firing logged");
+        assert_eq!(sink.counter_value("wlm.rule_actions"), 2);
+    }
+
+    #[test]
+    fn qmr_queue_time_rule_fires_at_admission() {
+        let cfg = WlmConfig::with_queues(vec![WlmQueueDef::new("q", 1)
+            .max_wait(Duration::from_secs(5))
+            .rule("slow_queue", QmrMetric::QueryQueueTime, 0, QmrAction::Log)]);
+        let sink = Arc::new(TraceSink::with_level(LVL_CORE));
+        let c = Arc::new(WlmController::new(&cfg, Arc::clone(&sink)));
+        let g = c.admit(10, None).unwrap();
+        assert!(
+            sink.records_named("wlm_rule_action").is_empty(),
+            "zero-wait admission never exceeds the threshold"
+        );
+        let c2 = Arc::clone(&c);
+        let waiter = std::thread::spawn(move || c2.admit(10, None));
+        while c.service_class_states()[0].queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(g);
+        let g2 = waiter.join().unwrap().unwrap();
+        assert!(g2.queue_wait_ns() > 0);
+        let firings = sink.records_named("wlm_rule_action");
+        assert_eq!(firings.len(), 1, "queue-time rule evaluated at admission");
+        assert_eq!(firings[0].attr_str("metric"), Some("query_queue_time"));
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct ExecMetrics {
     /// Time the query waited for a WLM concurrency slot before running
     /// (leader-side admission control; 0 when a slot was free).
     pub queue_wait_ns: u64,
+    /// Wall-clock execution time (the `query.exec` span's extent;
+    /// backfilled leader-side, 0 inside the executor itself).
+    pub exec_ns: u64,
+    /// Plan-compilation time, 0 on a plan-cache hit (the `query.compile`
+    /// span's extent; backfilled leader-side).
+    pub compile_ns: u64,
 }
 
 impl ExecMetrics {
@@ -69,6 +75,8 @@ impl ExecMetrics {
         self.groups_skipped += other.groups_skipped;
         self.rows_scanned += other.rows_scanned;
         self.queue_wait_ns += other.queue_wait_ns;
+        self.exec_ns += other.exec_ns;
+        self.compile_ns += other.compile_ns;
     }
 
     /// Total interconnect traffic (broadcast + redistribution) — the
@@ -78,12 +86,36 @@ impl ExecMetrics {
     }
 }
 
+/// One operator's execution footprint on one slice: the unit row of
+/// `svl_query_report`. `step` is the plan node's pre-order index
+/// (1-based, matching `LogicalPlan::explain` line order), so step N
+/// annotates EXPLAIN line N.
+#[derive(Debug, Clone)]
+pub struct StepProfile {
+    pub step: usize,
+    /// Operator label (`LogicalPlan::node_label`).
+    pub label: String,
+    pub slice: usize,
+    /// Rows this operator emitted on this slice. Leader-materialized
+    /// operators (Sort/Limit/final Aggregate) report on slice 0 only.
+    pub rows: u64,
+    /// Bytes of those output rows (in-memory column footprint).
+    pub bytes: u64,
+    /// Inclusive wall-clock time of the operator subtree. Slices run
+    /// the fragment in lockstep, so every slice row of a step carries
+    /// the same elapsed time.
+    pub elapsed_ns: u64,
+}
+
 /// A completed query.
 #[derive(Debug)]
 pub struct QueryOutput {
     pub columns: Vec<OutCol>,
     pub rows: Vec<Row>,
     pub metrics: ExecMetrics,
+    /// Per-step, per-slice profile; empty unless
+    /// [`Executor::with_profiling`] enabled it.
+    pub profile: Vec<StepProfile>,
 }
 
 /// Data placement during execution.
@@ -98,13 +130,22 @@ enum DataSet {
 pub struct Executor<'a> {
     provider: &'a dyn TableProvider,
     metrics: Mutex<ExecMetrics>,
+    /// Per-step profile rows; `None` when profiling is off (the check
+    /// per plan node is one branch, so default-on is affordable — the
+    /// profiler-overhead bench keeps this honest).
+    profile: Option<Mutex<Vec<StepProfile>>>,
     /// Parent span for per-slice detail spans (`RSIM_TRACE=2`).
     trace: Option<&'a redsim_obs::Span>,
 }
 
 impl<'a> Executor<'a> {
     pub fn new(provider: &'a dyn TableProvider) -> Self {
-        Executor { provider, metrics: Mutex::new(ExecMetrics::default()), trace: None }
+        Executor {
+            provider,
+            metrics: Mutex::new(ExecMetrics::default()),
+            profile: None,
+            trace: None,
+        }
     }
 
     /// Attach a parent span; slice-level scan spans become its children.
@@ -113,10 +154,18 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Enable (or disable) per-step, per-slice profiling. Off by
+    /// default; the cluster turns it on per `profile_queries` config and
+    /// always for `EXPLAIN ANALYZE`.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profile = if on { Some(Mutex::new(Vec::new())) } else { None };
+        self
+    }
+
     /// Run a plan to completion, materializing rows at the leader.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryOutput> {
         let columns = plan.output();
-        let ds = self.exec(plan)?;
+        let ds = self.exec(plan, 1)?;
         let batches = self.gather(ds);
         let width = columns.len();
         let mut rows = Vec::new();
@@ -127,7 +176,10 @@ impl<'a> Executor<'a> {
                 rows.push(Row::new(b.iter().map(|c| c.get(i)).collect()));
             }
         }
-        Ok(QueryOutput { columns, rows, metrics: self.metrics.lock().clone() })
+        let mut profile =
+            self.profile.as_ref().map_or_else(Vec::new, |p| std::mem::take(&mut p.lock()));
+        profile.sort_by_key(|s| (s.step, s.slice));
+        Ok(QueryOutput { columns, rows, metrics: self.metrics.lock().clone(), profile })
     }
 
     fn gather(&self, ds: DataSet) -> Vec<Batch> {
@@ -137,13 +189,50 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn exec(&self, plan: &LogicalPlan) -> Result<DataSet> {
+    /// Execute one plan node (pre-order step id `step`), recording a
+    /// [`StepProfile`] row per slice when profiling is on. Timing is
+    /// inclusive of the subtree, like `EXPLAIN ANALYZE` actual-time.
+    fn exec(&self, plan: &LogicalPlan, step: usize) -> Result<DataSet> {
+        let Some(profile) = &self.profile else {
+            return self.exec_node(plan, step);
+        };
+        let t0 = std::time::Instant::now();
+        let ds = self.exec_node(plan, step)?;
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let n = self.provider.num_slices();
+        let label = plan.node_label();
+        // Output footprint per slice; leader-materialized results count
+        // on slice 0, other slices report the step with zero rows.
+        let totals: Vec<(u64, u64)> = match &ds {
+            DataSet::Slices(per_slice) => per_slice.iter().map(|b| batch_totals(b)).collect(),
+            DataSet::Leader(batches) => {
+                let mut v = vec![(0u64, 0u64); n.max(1)];
+                v[0] = batch_totals(batches);
+                v
+            }
+        };
+        let mut rows = profile.lock();
+        for (slice, (r, bytes)) in totals.into_iter().enumerate() {
+            rows.push(StepProfile {
+                step,
+                label: label.clone(),
+                slice,
+                rows: r,
+                bytes,
+                elapsed_ns,
+            });
+        }
+        drop(rows);
+        Ok(ds)
+    }
+
+    fn exec_node(&self, plan: &LogicalPlan, step: usize) -> Result<DataSet> {
         match plan {
             LogicalPlan::Scan { table, projection, filter, pruning, .. } => {
                 self.exec_scan(table, projection, filter.as_ref(), pruning)
             }
             LogicalPlan::Filter { input, predicate } => {
-                let ds = self.exec(input)?;
+                let ds = self.exec(input, step + 1)?;
                 self.map_batches(ds, |batch| {
                     let rows = batch.first().map_or(0, |c| c.len());
                     let sel = eval_predicate(predicate, &batch, rows)?;
@@ -151,20 +240,20 @@ impl<'a> Executor<'a> {
                 })
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let ds = self.exec(input)?;
+                let ds = self.exec(input, step + 1)?;
                 self.map_batches(ds, |batch| {
                     let rows = batch.first().map_or(0, |c| c.len());
                     exprs.iter().map(|e| eval(e, &batch, rows)).collect()
                 })
             }
             LogicalPlan::Join { left, right, join_type, left_key, right_key, residual, strategy } => {
-                self.exec_join(left, right, *join_type, *left_key, *right_key, residual.as_ref(), *strategy)
+                self.exec_join(left, right, *join_type, *left_key, *right_key, residual.as_ref(), *strategy, step)
             }
             LogicalPlan::Aggregate { input, group_by, aggs, output } => {
-                self.exec_aggregate(input, group_by, aggs, output)
+                self.exec_aggregate(input, group_by, aggs, output, step)
             }
             LogicalPlan::Sort { input, keys } => {
-                let ds = self.exec(input)?;
+                let ds = self.exec(input, step + 1)?;
                 let batches = self.gather(ds);
                 let width = input.output().len();
                 let all = concat_batches(width, batches);
@@ -186,7 +275,7 @@ impl<'a> Executor<'a> {
                 Ok(DataSet::Leader(vec![sorted]))
             }
             LogicalPlan::Limit { input, n } => {
-                let ds = self.exec(input)?;
+                let ds = self.exec(input, step + 1)?;
                 let batches = self.gather(ds);
                 let width = input.output().len();
                 let all = concat_batches(width, batches);
@@ -282,11 +371,12 @@ impl<'a> Executor<'a> {
         right_key: usize,
         residual: Option<&BoundExpr>,
         strategy: JoinDistStrategy,
+        step: usize,
     ) -> Result<DataSet> {
         let lw = left.output().len();
         let right_types: Vec<DataType> = right.output().iter().map(|c| c.ty).collect();
-        let l_ds = self.exec(left)?;
-        let r_ds = self.exec(right)?;
+        let l_ds = self.exec(left, step + 1)?;
+        let r_ds = self.exec(right, step + 1 + left.num_steps())?;
         let n = self.provider.num_slices();
         let l_slices = self.to_slices(l_ds, n);
         let mut r_slices = self.to_slices(r_ds, n);
@@ -406,8 +496,9 @@ impl<'a> Executor<'a> {
         group_by: &[BoundExpr],
         aggs: &[AggExpr],
         output: &[OutCol],
+        step: usize,
     ) -> Result<DataSet> {
-        let ds = self.exec(input)?;
+        let ds = self.exec(input, step + 1)?;
         // Partial aggregation per slice, in parallel.
         let partials: Vec<Result<GroupTable>> = match ds {
             DataSet::Slices(per_slice) => parallel_map_owned(per_slice, |batches| {
@@ -945,6 +1036,18 @@ fn dist_hash_column(c: &ColumnData, i: usize) -> u64 {
     }
 }
 
+/// Total (rows, bytes) across a batch list — a profiled step's output
+/// footprint on one slice.
+fn batch_totals(batches: &[Batch]) -> (u64, u64) {
+    let mut rows = 0u64;
+    let mut bytes = 0u64;
+    for b in batches {
+        rows += b.first().map_or(0, |c| c.len()) as u64;
+        bytes += b.iter().map(|c| c.byte_size() as u64).sum::<u64>();
+    }
+    (rows, bytes)
+}
+
 /// Concatenate batches of a known width into one batch.
 pub fn concat_batches(width: usize, batches: Vec<Batch>) -> Batch {
     match concat_batches_opt(batches) {
@@ -996,6 +1099,8 @@ mod metrics_tests {
             groups_skipped: 6,
             rows_scanned: 7,
             queue_wait_ns: 8,
+            exec_ns: 9,
+            compile_ns: 10,
         };
         let mut acc = ExecMetrics::default();
         acc.absorb(&all_nonzero);
@@ -1008,6 +1113,8 @@ mod metrics_tests {
         assert_eq!(acc.groups_skipped, 12);
         assert_eq!(acc.rows_scanned, 14);
         assert_eq!(acc.queue_wait_ns, 16);
+        assert_eq!(acc.exec_ns, 18);
+        assert_eq!(acc.compile_ns, 20);
         assert_eq!(acc.exchange_bytes(), 6);
     }
 }

@@ -1,8 +1,10 @@
-//! Text and JSON exporters over span snapshots.
+//! Text and JSON exporters over span snapshots and metric registries.
 
+use crate::hist::Histogram;
 use crate::span::{AttrValue, SpanRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Render records as an indented tree, one trace per block:
 ///
@@ -114,6 +116,82 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Render metric registries as line-oriented text, one metric per line:
+///
+/// ```text
+/// counter wlm.admitted 12
+/// gauge mirror.backlog 3
+/// histogram query.exec_ns count=12 sum=48210 p50=3968 p90=7423 p99=8191 max=8012
+/// ```
+///
+/// Registries arrive name-sorted from the sink, so output is
+/// deterministic for a deterministic workload.
+pub fn metrics_to_text(
+    counters: &[(String, u64)],
+    gauges: &[(String, i64)],
+    hists: &[(String, Arc<Histogram>)],
+) -> String {
+    let mut out = String::new();
+    for (name, v) in counters {
+        writeln!(out, "counter {name} {v}").unwrap();
+    }
+    for (name, v) in gauges {
+        writeln!(out, "gauge {name} {v}").unwrap();
+    }
+    for (name, h) in hists {
+        writeln!(
+            out,
+            "histogram {name} count={} sum={} p50={} p90={} p99={} max={}",
+            h.count(),
+            h.sum(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.max(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render metric registries as one JSON object with `counters`,
+/// `gauges`, and `histograms` sections.
+pub fn metrics_to_json(
+    counters: &[(String, u64)],
+    gauges: &[(String, i64)],
+    hists: &[(String, Arc<Histogram>)],
+) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { ", " } else { "" };
+        write!(out, "{}: {v}{comma}", json_str(name)).unwrap();
+    }
+    out.push_str("},\n  \"gauges\": {");
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        let comma = if i + 1 < gauges.len() { ", " } else { "" };
+        write!(out, "{}: {v}{comma}", json_str(name)).unwrap();
+    }
+    out.push_str("},\n  \"histograms\": {");
+    for (i, (name, h)) in hists.iter().enumerate() {
+        let comma = if i + 1 < hists.len() { ", " } else { "" };
+        write!(
+            out,
+            "{}: {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+             \"max\": {}}}{comma}",
+            json_str(name),
+            h.count(),
+            h.sum(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.max(),
+        )
+        .unwrap();
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
 /// Human-scale duration.
 pub fn fmt_dur(ns: u64) -> String {
     let ns = ns as f64;
@@ -170,5 +248,25 @@ mod tests {
     fn durations_format() {
         assert_eq!(fmt_dur(500), "500ns");
         assert_eq!(fmt_dur(2_500_000), "2.50ms");
+    }
+
+    #[test]
+    fn metrics_exports_cover_all_registries() {
+        let h = Arc::new(Histogram::new());
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let counters = vec![("wlm.admitted".to_string(), 12u64)];
+        let gauges = vec![("mirror.backlog".to_string(), -3i64)];
+        let hists = vec![("query.exec_ns".to_string(), Arc::clone(&h))];
+        let txt = metrics_to_text(&counters, &gauges, &hists);
+        assert!(txt.contains("counter wlm.admitted 12"), "{txt}");
+        assert!(txt.contains("gauge mirror.backlog -3"), "{txt}");
+        assert!(txt.contains("histogram query.exec_ns count=3 sum=600"), "{txt}");
+        assert!(txt.contains("max=300"), "{txt}");
+        let j = metrics_to_json(&counters, &gauges, &hists);
+        assert!(j.contains("\"wlm.admitted\": 12"), "{j}");
+        assert!(j.contains("\"mirror.backlog\": -3"), "{j}");
+        assert!(j.contains("\"query.exec_ns\": {\"count\": 3"), "{j}");
     }
 }

@@ -42,10 +42,12 @@
 //! Spans above the sink's level cost one branch and no allocation.
 
 pub mod export;
+pub mod hist;
 pub mod sink;
 pub mod span;
 
 pub use export::{to_json, to_text};
+pub use hist::Histogram;
 pub use sink::{Counter, Gauge, TraceSink};
 pub use span::{AttrValue, Span, SpanRecord};
 
@@ -150,6 +152,30 @@ mod tests {
         let n = sink.snapshot().len();
         assert!(n <= 100, "retention cap enforced, got {n}");
         assert!(sink.records_evicted() >= 400);
+        // Truncation is visible in the exported metrics, not just the
+        // internal accessor.
+        assert_eq!(sink.counter_value("trace.records_dropped"), sink.records_evicted());
+        assert!(sink.export_metrics_text().contains("counter trace.records_dropped"));
+    }
+
+    #[test]
+    fn histogram_registry_and_metric_exports() {
+        let sink = TraceSink::with_level(LVL_CORE);
+        let h = sink.histogram("query.exec_ns");
+        for v in [1_000u64, 2_000, 4_000, 8_000] {
+            h.record(v);
+        }
+        // Registry hands back the same histogram for the same name.
+        assert_eq!(sink.histogram("query.exec_ns").count(), 4);
+        assert_eq!(sink.histogram_quantile("missing", 0.99), 0);
+        let p99 = sink.histogram_quantile("query.exec_ns", 0.99);
+        assert!((7_000..=8_000).contains(&p99), "p99={p99}");
+        sink.counter("wlm.admitted").add(2);
+        let txt = sink.export_metrics_text();
+        assert!(txt.contains("counter wlm.admitted 2"), "{txt}");
+        assert!(txt.contains("histogram query.exec_ns count=4"), "{txt}");
+        let j = sink.export_metrics_json();
+        assert!(j.contains("\"query.exec_ns\": {\"count\": 4"), "{j}");
     }
 
     #[test]

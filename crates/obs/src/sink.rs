@@ -1,6 +1,7 @@
 //! The trace sink: sharded ring buffers, completed-record store, and
 //! the counter/gauge registries.
 
+use crate::hist::Histogram;
 use crate::span::{AttrValue, Span, SpanInner, SpanRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
@@ -86,6 +87,7 @@ pub struct TraceSink {
     retain: usize,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Default for TraceSink {
@@ -128,6 +130,7 @@ impl TraceSink {
             retain: DEFAULT_RETAIN,
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -262,6 +265,10 @@ impl TraceSink {
         if over > 0 {
             done.drain(..over);
             self.evicted.fetch_add(over as u64, Ordering::Relaxed);
+            drop(done);
+            // Surface truncation in the exported metrics too: silent
+            // record loss makes system tables quietly lie.
+            self.counter("trace.records_dropped").add(over as u64);
         }
     }
 
@@ -334,6 +341,25 @@ impl TraceSink {
         reg.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
     }
 
+    /// Get-or-create a named histogram (log-bucketed; see
+    /// [`crate::hist`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut reg = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(reg.entry(name.to_string()).or_default())
+    }
+
+    /// The `q`-quantile of a named histogram (0 when never recorded).
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> u64 {
+        let reg = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        reg.get(name).map_or(0, |h| h.quantile(q))
+    }
+
+    /// All histograms, name-sorted.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        let reg = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        reg.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+    }
+
     /// Get-or-create a named gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
         let mut reg = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
@@ -360,5 +386,18 @@ impl TraceSink {
     /// Render the current snapshot as a JSON document.
     pub fn export_json(&self) -> String {
         crate::export::to_json(&self.snapshot())
+    }
+
+    /// Render the metric registries (counters, gauges, histograms) as
+    /// line-oriented text. Histograms export count/sum plus
+    /// p50/p90/p99/max quantile columns — the fleet-side view that
+    /// `benchdiff --p99` style gates consume.
+    pub fn export_metrics_text(&self) -> String {
+        crate::export::metrics_to_text(&self.counters(), &self.gauges(), &self.histograms())
+    }
+
+    /// Render the metric registries as a JSON document.
+    pub fn export_metrics_json(&self) -> String {
+        crate::export::metrics_to_json(&self.counters(), &self.gauges(), &self.histograms())
     }
 }

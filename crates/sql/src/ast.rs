@@ -13,6 +13,9 @@ pub enum Statement {
     Vacuum { table: Option<String> },
     Analyze { table: Option<String> },
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE`: execute the statement for real and return the
+    /// plan annotated with actual per-operator rows and elapsed time.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// `CREATE TABLE` with Redshift's distribution/sort clauses.

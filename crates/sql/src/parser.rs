@@ -90,6 +90,11 @@ impl Parser {
 
     fn statement_inner(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
+            // ANALYZE must be claimed here: bare ANALYZE is its own
+            // statement keyword further down.
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement_inner()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement_inner()?)));
         }
         if self.eat_kw("SELECT") {
@@ -917,6 +922,10 @@ mod tests {
     #[test]
     fn explain_vacuum_analyze_drop() {
         assert!(matches!(parse("EXPLAIN SELECT a FROM t"), Statement::Explain(_)));
+        match parse("EXPLAIN ANALYZE SELECT a FROM t") {
+            Statement::ExplainAnalyze(inner) => assert!(matches!(*inner, Statement::Select(_))),
+            other => panic!("expected ExplainAnalyze, got {other:?}"),
+        }
         assert!(matches!(parse("VACUUM"), Statement::Vacuum { table: None }));
         assert!(matches!(parse("ANALYZE t"), Statement::Analyze { table: Some(_) }));
         assert!(matches!(

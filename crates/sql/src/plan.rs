@@ -297,6 +297,39 @@ impl LogicalPlan {
         s
     }
 
+    /// Nodes in this subtree. Step ids in profiler output are pre-order
+    /// indexes over the plan (node first, then children, joins
+    /// left-then-right) — the same order [`LogicalPlan::explain`] prints
+    /// lines in, so `svl_query_report.step` N annotates EXPLAIN line N.
+    pub fn num_steps(&self) -> usize {
+        1 + match self {
+            LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.num_steps(),
+            LogicalPlan::Join { left, right, .. } => left.num_steps() + right.num_steps(),
+        }
+    }
+
+    /// Short operator label for profiler rows (`svl_query_report`),
+    /// matching the head of the corresponding [`LogicalPlan::explain`]
+    /// line.
+    pub fn node_label(&self) -> String {
+        match self {
+            LogicalPlan::Scan { table, .. } => format!("Seq Scan on {table}"),
+            LogicalPlan::Filter { .. } => "Filter".to_string(),
+            LogicalPlan::Join { strategy, join_type, .. } => {
+                format!("Hash Join {join_type:?} ({strategy})")
+            }
+            LogicalPlan::Aggregate { .. } => "HashAggregate".to_string(),
+            LogicalPlan::Project { .. } => "Project".to_string(),
+            LogicalPlan::Sort { .. } => "Sort".to_string(),
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {

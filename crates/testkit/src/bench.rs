@@ -470,34 +470,65 @@ fn split_csv_line(line: &str) -> Vec<String> {
     fields
 }
 
+/// Which latency statistic a diff gates on. `P50` is the default
+/// everywhere; `P99` exists for tail-latency gates (fed by histogram
+/// exports and the profiler-overhead ablation), where the median hides
+/// exactly the regressions that matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStat {
+    P50,
+    P99,
+}
+
+impl DiffStat {
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffStat::P50 => "p50",
+            DiffStat::P99 => "p99",
+        }
+    }
+
+    fn pick(self, r: &Record) -> f64 {
+        match self {
+            DiffStat::P50 => r.p50_ns,
+            DiffStat::P99 => r.p99_ns,
+        }
+    }
+}
+
 /// One `(group, bench, input)` pair compared across two runs.
 #[derive(Debug, Clone)]
-pub struct P50Diff {
+pub struct StatDiff {
     /// `group/bench/input` display key.
     pub key: String,
-    pub base_p50_ns: f64,
-    pub new_p50_ns: f64,
+    pub base_ns: f64,
+    pub new_ns: f64,
     /// Positive = regression (new is slower).
     pub delta_pct: f64,
 }
 
-/// Join two runs by `(group, bench, input)` and compare `p50_ns`.
-/// Returns `(common, only_in_base, only_in_new)`; `common` is sorted by
-/// descending regression so the worst offenders print first.
-pub fn diff_p50(base: &[Record], new: &[Record]) -> (Vec<P50Diff>, Vec<String>, Vec<String>) {
+/// Join two runs by `(group, bench, input)` and compare the chosen
+/// statistic. Returns `(common, only_in_base, only_in_new)`; `common`
+/// is sorted by descending regression so the worst offenders print
+/// first.
+pub fn diff_stat(
+    base: &[Record],
+    new: &[Record],
+    stat: DiffStat,
+) -> (Vec<StatDiff>, Vec<String>, Vec<String>) {
     let key = |r: &Record| display_label(&r.group, &r.bench, &r.input);
     let base_map: std::collections::BTreeMap<String, f64> =
-        base.iter().map(|r| (key(r), r.p50_ns)).collect();
+        base.iter().map(|r| (key(r), stat.pick(r))).collect();
     let new_map: std::collections::BTreeMap<String, f64> =
-        new.iter().map(|r| (key(r), r.p50_ns)).collect();
+        new.iter().map(|r| (key(r), stat.pick(r))).collect();
     let mut common = Vec::new();
     let mut only_base = Vec::new();
     for (k, &b) in &base_map {
         match new_map.get(k) {
-            Some(&n) => common.push(P50Diff {
+            Some(&n) => common.push(StatDiff {
                 key: k.clone(),
-                base_p50_ns: b,
-                new_p50_ns: n,
+                base_ns: b,
+                new_ns: n,
                 delta_pct: (n - b) / b.max(1e-9) * 100.0,
             }),
             None => only_base.push(k.clone()),
@@ -507,6 +538,11 @@ pub fn diff_p50(base: &[Record], new: &[Record]) -> (Vec<P50Diff>, Vec<String>, 
         new_map.keys().filter(|k| !base_map.contains_key(*k)).cloned().collect();
     common.sort_by(|a, b| b.delta_pct.partial_cmp(&a.delta_pct).expect("finite deltas"));
     (common, only_base, only_new)
+}
+
+/// [`diff_stat`] pinned to the default p50 gate.
+pub fn diff_p50(base: &[Record], new: &[Record]) -> (Vec<StatDiff>, Vec<String>, Vec<String>) {
+    diff_stat(base, new, DiffStat::P50)
 }
 
 /// Human-scale nanoseconds.
@@ -726,6 +762,31 @@ mod tests {
         assert_eq!(common[1].key, "g/stable");
         assert_eq!(only_base, vec!["g/gone".to_string()]);
         assert_eq!(only_new, vec!["g/fresh".to_string()]);
+    }
+
+    #[test]
+    fn diff_stat_p99_gates_the_tail_independently() {
+        let rec = |bench: &str, p50: f64, p99: f64| Record {
+            group: "g".into(),
+            bench: bench.into(),
+            input: String::new(),
+            samples: 3,
+            iters_per_sample: 1,
+            mean_ns: p50,
+            p50_ns: p50,
+            p99_ns: p99,
+            min_ns: p50,
+            max_ns: p99,
+            throughput_elems: None,
+        };
+        // Median flat, tail +100%: only the p99 gate sees it.
+        let base = vec![rec("tail", 100.0, 200.0)];
+        let new = vec![rec("tail", 100.0, 400.0)];
+        let (by_p50, _, _) = diff_stat(&base, &new, DiffStat::P50);
+        assert!(by_p50[0].delta_pct.abs() < 1e-9);
+        let (by_p99, _, _) = diff_stat(&base, &new, DiffStat::P99);
+        assert!((by_p99[0].delta_pct - 100.0).abs() < 1e-9);
+        assert_eq!(DiffStat::P99.label(), "p99");
     }
 
     #[test]

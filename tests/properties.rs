@@ -457,6 +457,14 @@ fn trace_invariants_hold_under_random_workload() {
         // system-table reads excluded.
         let stl = c.query("SELECT COUNT(*) FROM stl_query").unwrap();
         assert_eq!(stl.rows[0].get(0).as_i64(), Some(selects as i64));
+
+        // 4. The default retention config never truncates: every record
+        // the ring evicted was absorbed by the spill, none dropped.
+        assert_eq!(
+            sink.counter_value("trace.records_dropped"),
+            0,
+            "trace ring dropped records under the default config"
+        );
     });
 }
 
@@ -1151,4 +1159,261 @@ fn session_wire_disconnect_never_leaks() {
         assert_eq!(c.trace().gauge_value("frontdoor.connections"), 0);
         assert_eq!(c.trace().open_spans(), 0, "wire handler leaked spans");
     });
+}
+
+// ---------------------------------------------------------------------
+// Query-monitoring rules (QMR) + per-step profiler invariants (PR 7).
+// ---------------------------------------------------------------------
+
+#[test]
+fn qmr_abort_never_fires_on_explain_or_system_reads() {
+    use redshift_sim::core::{QmrAction, QmrMetric, WlmConfig, WlmQueueDef};
+
+    // A poison rule: any admitted SELECT that scans a single row is
+    // aborted. Diagnostics (EXPLAIN, EXPLAIN ANALYZE) and system-table
+    // reads bypass WLM admission entirely, so no random mix of them may
+    // ever trip it.
+    let gen = prop::vec_of(prop::range(0usize..3), 1..12);
+    let cfg = Config::with_cases(8).regressions_file(regressions());
+    prop::check("qmr_abort_explain_exempt", &cfg, &gen, |plan| {
+        let wlm = WlmConfig::with_queues(vec![WlmQueueDef::new("strict", 4).rule(
+            "no_scans",
+            QmrMetric::RowsScanned,
+            0,
+            QmrAction::Abort,
+        )]);
+        let c = Cluster::launch(
+            ClusterConfig::new("qmr-exempt").nodes(2).slices_per_node(2).wlm(wlm),
+        )
+        .unwrap();
+        c.execute("CREATE TABLE t (k BIGINT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        for &kind in plan {
+            match kind {
+                0 => {
+                    c.query("EXPLAIN SELECT COUNT(*) FROM t").unwrap();
+                }
+                1 => {
+                    // Executes for real (and scans rows), yet holds no
+                    // service-class slot — rules cannot see it.
+                    c.query("EXPLAIN ANALYZE SELECT COUNT(*) FROM t").unwrap();
+                }
+                _ => {
+                    c.query("SELECT COUNT(*) FROM stl_wlm_rule_action").unwrap();
+                }
+            }
+        }
+        assert!(
+            c.trace().records_named("wlm_rule_action").is_empty(),
+            "a rule fired on a diagnostic statement"
+        );
+        // The same query executed for real is killed by the rule …
+        let err = c.query("SELECT COUNT(*) FROM t").unwrap_err();
+        assert!(err.to_string().contains("monitoring rule"), "unexpected error: {err}");
+        let fired = c.query("SELECT rule, action FROM stl_wlm_rule_action").unwrap();
+        assert_eq!(fired.rows.len(), 1, "exactly the real SELECT fired");
+        assert_eq!(fired.rows[0].get(0).as_str(), Some("no_scans"));
+        assert_eq!(fired.rows[0].get(1).as_str(), Some("abort"));
+        // … and the abort released its slot and leaked nothing.
+        for sc in c.wlm().service_class_states() {
+            assert_eq!(sc.in_flight, 0, "{}: aborted query still holds a slot", sc.name);
+        }
+        assert_eq!(c.trace().open_spans(), 0, "abort path leaked spans");
+    });
+}
+
+#[test]
+fn qmr_rule_hop_and_timeout_hop_both_count_in_stl_hops() {
+    use redshift_sim::core::{QmrAction, QmrMetric, WlmConfig, WlmQueueDef};
+    use std::time::Duration;
+
+    let wlm = WlmConfig::with_queues(vec![
+        WlmQueueDef::new("narrow", 1).max_wait(Duration::from_millis(5)).rule(
+            "big_scan",
+            QmrMetric::RowsScanned,
+            100,
+            QmrAction::Hop,
+        ),
+        WlmQueueDef::new("wide", 2),
+    ]);
+    let c = Cluster::launch(
+        ClusterConfig::new("qmr-hops").nodes(2).slices_per_node(2).wlm(wlm),
+    )
+    .unwrap();
+    c.execute("CREATE TABLE big (k BIGINT)").unwrap();
+    let values = (0..400).map(|i| format!("({i})")).collect::<Vec<_>>().join(", ");
+    c.execute(&format!("INSERT INTO big VALUES {values}")).unwrap();
+
+    // 1. Rule hop: a scan-heavy query admitted to `narrow` trips the
+    // rows_scanned rule at slice-merge and finishes in `wide`, with the
+    // firing logged in stl_wlm_rule_action.
+    let r = c.query("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(r.rows[0].get(0).as_i64(), Some(400));
+    let wq = c.query("SELECT service_class, hops FROM stl_wlm_query").unwrap();
+    assert_eq!(wq.rows.len(), 1);
+    assert_eq!(wq.rows[0].get(0).as_str(), Some("wide"), "finished in the wider queue");
+    assert_eq!(wq.rows[0].get(1).as_i64(), Some(1));
+    let fired = c.query("SELECT rule, action FROM stl_wlm_rule_action").unwrap();
+    assert_eq!(fired.rows.len(), 1);
+    assert_eq!(fired.rows[0].get(0).as_str(), Some("big_scan"));
+    assert_eq!(fired.rows[0].get(1).as_str(), Some("hop"));
+
+    // 2. Timeout hop: hold narrow's only slot, then admit again — the
+    // waiter exhausts max_wait and hops to wide through the PR-5
+    // machinery. Both hop kinds land in the same stl_wlm_query.hops.
+    let hog = c.wlm().admit(1, None).unwrap();
+    let hopped = c.wlm().admit(1, None).unwrap();
+    assert_eq!(hopped.service_class(), "wide");
+    drop(hopped);
+    drop(hog);
+    let both = c.query("SELECT COUNT(*) FROM stl_wlm_query WHERE hops = 1").unwrap();
+    assert_eq!(
+        both.rows[0].get(0).as_i64(),
+        Some(2),
+        "rule hop and timeout hop both counted in stl_wlm_query.hops"
+    );
+}
+
+#[test]
+fn qmr_rules_under_chaos_never_leak_spans_or_slots() {
+    use redshift_sim::core::{QmrAction, QmrMetric, WlmConfig, WlmQueueDef};
+    use redshift_sim::testkit::par;
+
+    // Concurrent random mixes of completing, aborting and diagnostic
+    // statements against a rules-armed config: afterwards the books
+    // must balance exactly — no slot, waiter or span outlives its query.
+    let gen = prop::vec_of(prop::vec_of(prop::range(0usize..4), 1..8), 2..5);
+    let cfg = Config::with_cases(8).regressions_file(regressions());
+    prop::check("qmr_chaos_no_leaks", &cfg, &gen, |threads| {
+        let wlm = WlmConfig::with_queues(vec![
+            WlmQueueDef::new("watched", 2)
+                .rule("log_all", QmrMetric::QueryExecTime, 0, QmrAction::Log)
+                .rule("kill_big", QmrMetric::RowsScanned, 100, QmrAction::Abort),
+            WlmQueueDef::new("fallback", 2),
+        ]);
+        let c = Cluster::launch(
+            ClusterConfig::new("qmr-chaos").nodes(2).slices_per_node(2).wlm(wlm),
+        )
+        .unwrap();
+        c.execute("CREATE TABLE small (k BIGINT)").unwrap();
+        c.execute("INSERT INTO small VALUES (1), (2), (3)").unwrap();
+        c.execute("CREATE TABLE big (k BIGINT)").unwrap();
+        let values = (0..300).map(|i| format!("({i})")).collect::<Vec<_>>().join(", ");
+        c.execute(&format!("INSERT INTO big VALUES {values}")).unwrap();
+        let results: Vec<Result<(), String>> = par::map(threads.clone(), |script| {
+            for kind in script {
+                match kind {
+                    0 => {
+                        c.query("SELECT COUNT(*) FROM small").map_err(|e| e.to_string())?;
+                    }
+                    1 => {
+                        if c.query("SELECT COUNT(*) FROM big").is_ok() {
+                            return Err("abort rule did not fire on the big scan".into());
+                        }
+                    }
+                    2 => {
+                        c.query("EXPLAIN ANALYZE SELECT SUM(k) FROM small")
+                            .map_err(|e| e.to_string())?;
+                    }
+                    _ => {
+                        c.query("SELECT COUNT(*) FROM stl_wlm_rule_action")
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+            Ok(())
+        });
+        for r in results {
+            r.unwrap();
+        }
+        assert_eq!(c.trace().open_spans(), 0, "rule evaluation leaked spans");
+        for sc in c.wlm().service_class_states() {
+            assert_eq!(sc.in_flight, 0, "{}: slot leaked", sc.name);
+            assert_eq!(sc.queued, 0, "{}: waiter leaked", sc.name);
+        }
+        assert_eq!(
+            c.trace().counter_value("wlm.admitted"),
+            c.trace().counter_value("wlm.completed")
+                + c.trace().counter_value("wlm.aborted"),
+            "every admission either completed or aborted"
+        );
+    });
+}
+
+#[test]
+fn profile_report_rows_equal_queries_times_slices_times_steps() {
+    // Pinned workload over a 4-slice cluster: every executed query must
+    // contribute exactly (plan steps × slices) svl_query_report rows,
+    // where the step count is the query's own EXPLAIN line count.
+    let c = Cluster::launch(
+        ClusterConfig::new("profile-prop").nodes(2).slices_per_node(2),
+    )
+    .unwrap();
+    c.execute("CREATE TABLE t (k BIGINT, v BIGINT)").unwrap();
+    c.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)").unwrap();
+    let queries = [
+        "SELECT COUNT(*) FROM t",
+        "SELECT k FROM t WHERE v > 15 ORDER BY k LIMIT 2",
+        "SELECT a.k, b.v FROM t a JOIN t b ON a.k = b.k",
+    ];
+    let slices = 4i64;
+    let mut expected = 0i64;
+    for (i, q) in queries.iter().enumerate() {
+        let plan = c.query(&format!("EXPLAIN {q}")).unwrap();
+        let steps = plan.rows.len() as i64;
+        assert!(steps >= 1);
+        c.query(q).unwrap();
+        expected += steps * slices;
+        // EXPLAIN allocates no query id, so executed queries are 1-based
+        // and dense; per-query row count is its own steps × slices.
+        let per = c
+            .query(&format!("SELECT COUNT(*) FROM svl_query_report WHERE query = {}", i + 1))
+            .unwrap();
+        assert_eq!(per.rows[0].get(0).as_i64(), Some(steps * slices), "query {q:?}");
+    }
+    let got = c.query("SELECT COUNT(*) FROM svl_query_report").unwrap();
+    assert_eq!(got.rows[0].get(0).as_i64(), Some(expected));
+
+    // With profiling off the table stays empty (and queries still run).
+    let off = Cluster::launch(
+        ClusterConfig::new("profile-off").nodes(2).slices_per_node(2).query_profiling(false),
+    )
+    .unwrap();
+    off.execute("CREATE TABLE t (k BIGINT)").unwrap();
+    off.execute("INSERT INTO t VALUES (1)").unwrap();
+    off.query("SELECT COUNT(*) FROM t").unwrap();
+    let none = off.query("SELECT COUNT(*) FROM svl_query_report").unwrap();
+    assert_eq!(none.rows[0].get(0).as_i64(), Some(0));
+}
+
+#[test]
+fn profile_explain_analyze_annotates_three_table_join() {
+    let c = Cluster::launch(ClusterConfig::new("ea-join").nodes(2).slices_per_node(2)).unwrap();
+    c.execute("CREATE TABLE users (id BIGINT, name VARCHAR)").unwrap();
+    c.execute("CREATE TABLE orders (id BIGINT, user_id BIGINT)").unwrap();
+    c.execute("CREATE TABLE items (order_id BIGINT, sku BIGINT)").unwrap();
+    c.execute("INSERT INTO users VALUES (1, 'a'), (2, 'b')").unwrap();
+    c.execute("INSERT INTO orders VALUES (10, 1), (11, 2), (12, 1)").unwrap();
+    c.execute("INSERT INTO items VALUES (10, 100), (11, 101), (12, 102), (12, 103)").unwrap();
+    let sql = "SELECT u.name, COUNT(*) AS n FROM users u \
+               JOIN orders o ON u.id = o.user_id \
+               JOIN items i ON o.id = i.order_id GROUP BY u.name";
+    let plain = c.query(&format!("EXPLAIN {sql}")).unwrap();
+    let analyzed = c.query(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    assert_eq!(
+        analyzed.rows.len(),
+        plain.rows.len(),
+        "one annotated line per plan operator"
+    );
+    for row in &analyzed.rows {
+        let v = row.get(0);
+        let line = v.as_str().unwrap();
+        assert!(line.contains("(actual rows="), "unannotated operator line: {line}");
+        assert!(line.contains("time="), "missing elapsed time: {line}");
+    }
+    // It executed for real (per-operator metrics flowed back) …
+    assert!(analyzed.metrics.rows_scanned > 0, "EXPLAIN ANALYZE must execute");
+    // … but like EXPLAIN it is a diagnostic: not an stl_query row.
+    let logged = c.query("SELECT COUNT(*) FROM stl_query").unwrap();
+    assert_eq!(logged.rows[0].get(0).as_i64(), Some(0), "EXPLAIN ANALYZE is not logged");
 }
