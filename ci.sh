@@ -62,6 +62,19 @@ if [ -n "$frontdoor_deps" ]; then
 fi
 echo "ok: redsim-frontdoor depends only on workspace crates"
 
+echo "== hermeticity guard: redsim-workload stays workspace-only =="
+# The workload synthesizer is the classic place for a stats/distribution
+# crate to sneak in (Zipf, Poisson thinning, diurnal curves); all of it
+# lives in redsim-simkit, so the closure must stay redsim-* path crates.
+workload_deps=$(cargo tree -p redsim-workload --offline --edges normal --prefix none \
+  | sort -u | grep -v '^redsim-' | grep -v '^\s*$' || true)
+if [ -n "$workload_deps" ]; then
+  echo "error: redsim-workload grew non-workspace dependencies:" >&2
+  echo "$workload_deps" >&2
+  exit 1
+fi
+echo "ok: redsim-workload depends only on workspace crates"
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
@@ -115,6 +128,14 @@ echo "== profiler invariants (quick property pass) =="
 # every plan line with actual rows + time and allocates no query id.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties profile_
 
+echo "== workload replay invariants (quick property pass) =="
+# Fleet-scale synthesis + replay: same seed ⇒ byte-identical schedule
+# and identical per-class query counts / cache-hit totals across fresh
+# clusters; WLM ledger balances under concurrent wall-mode replay with a
+# QMR rule armed; 30s chaos stalls ride the virtual clock instead of
+# sleeping. Reproduce a failing case with RSIM_SEED=<seed>.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties workload_
+
 echo "== frontdoor wire-server smoke (64 concurrent sessions) =="
 # The concurrent TCP server end to end: 64 clients, backlog rejection
 # with a retryable THROTTLE, typed errors over the wire, graceful drain.
@@ -137,6 +158,21 @@ echo "== profiler overhead stays within 15% (benchdiff gate) =="
 #   cargo bench --offline -p redsim-bench --bench profiler_overhead
 cargo run -q --offline -p redsim-bench --bin benchdiff -- \
   results/profiler_overhead_off.csv results/profiler_overhead_on.csv
+
+echo "== workload macro-bench baselines are honored (benchdiff gates) =="
+# The workload_replay bench writes per-class latency CSVs from the
+# seeded 1k-tenant virtual replay — the same statements every run, so a
+# drift is an engine/session/WLM cost change, not workload noise. Both
+# p50 and tail are gated: dashboards live and die by p99. Regenerate
+# after an intentional perf change with
+#   cargo bench --offline -p redsim-bench --bench workload_replay
+# and copy each workload_<class>.csv over its _baseline.csv.
+for wl_class in dashboard etl adhoc; do
+  cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+    "results/workload_${wl_class}_baseline.csv" "results/workload_${wl_class}.csv"
+  cargo run -q --offline -p redsim-bench --bin benchdiff -- --p99 \
+    "results/workload_${wl_class}_baseline.csv" "results/workload_${wl_class}.csv"
+done
 
 echo "== write atomicity (failure-injection gate) =="
 # The pinned rollback scenarios: permanent mirror fault mid-COPY,

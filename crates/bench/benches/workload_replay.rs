@@ -1,0 +1,70 @@
+//! Fleet-scale workload replay — the standing macro-bench.
+//!
+//! A seeded 1,000-tenant mixed fleet (repeat-heavy diurnal dashboards,
+//! ETL with a COPY cadence, bursty never-repeating ad-hoc) is
+//! synthesized once and replayed twice:
+//!
+//! * **virtual mode** — sequential, deterministic; the per-statement
+//!   wall-clock latency histograms become
+//!   `results/workload_{dashboard,etl,adhoc}.csv`, which ci.sh gates
+//!   against the committed `*_baseline.csv` via benchdiff (p50 and
+//!   --p99). Same seed ⇒ same schedule ⇒ the same statements measured,
+//!   so a drift here is an engine/session/WLM cost change, not workload
+//!   noise.
+//! * **wall mode** — tenant-partitioned worker threads running as fast
+//!   as possible: real WLM queue contention, real p99s. Printed for the
+//!   record, deliberately not gated (scheduler noise).
+//!
+//! Regenerate the baselines after an intentional perf change with:
+//!   cargo bench --offline -p redsim-bench --bench workload_replay
+//!   cp results/workload_dashboard.csv results/workload_dashboard_baseline.csv   (etc.)
+
+use redsim_workload::{report, QueryClass, ReplayDriver, ReplayMode, WorkloadConfig};
+
+fn main() {
+    let quick = std::env::var("RSIM_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+    let mut cfg = WorkloadConfig::fleet(1_000);
+    if quick {
+        cfg = cfg.scaled(0.1);
+    }
+    let driver = ReplayDriver::new(cfg);
+    let sched = driver.schedule();
+    println!(
+        "workload_replay: {} tenants, {} ops over {:.0} virtual minutes (digest {:016x})",
+        driver.config().tenants,
+        sched.len(),
+        sched.horizon().as_mins_f64(),
+        sched.digest(),
+    );
+
+    // --- virtual mode: the gated run -----------------------------------
+    let cluster = driver.launch("wl-bench-virtual").expect("launch virtual cluster");
+    let virt = driver.run(&cluster, ReplayMode::Virtual).expect("virtual replay");
+    println!("\nvirtual replay ({:?} wall):\n{}", virt.wall, virt.summary());
+    assert_eq!(virt.total_errors(), 0, "virtual replay must run clean");
+    assert!(virt.wlm.balanced(), "WLM ledger unbalanced: {:?}", virt.wlm);
+    assert!(
+        virt.class(QueryClass::Dashboard).cache_hits > 0,
+        "dashboard repeats should hit the result cache"
+    );
+
+    let dir = redsim_testkit::bench::default_results_dir();
+    let paths = report::write_class_csvs(&virt, &dir, "virtual").expect("write workload CSVs");
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+
+    // --- wall mode: contention for the record, not gated ----------------
+    let workers = if quick { 4 } else { 8 };
+    let cluster = driver.launch("wl-bench-wall").expect("launch wall cluster");
+    let wall = driver
+        .run(&cluster, ReplayMode::Wall { workers, time_scale: None })
+        .expect("wall replay");
+    println!("wall replay ({workers} workers, {:?} wall):\n{}", wall.wall, wall.summary());
+    assert_eq!(wall.total_errors(), 0, "wall replay must run clean");
+    assert!(wall.wlm.balanced(), "WLM ledger unbalanced: {:?}", wall.wlm);
+    // Same schedule, either mode: per-class statement counts must agree.
+    for c in QueryClass::ALL {
+        assert_eq!(virt.class(c).statements(), wall.class(c).statements(), "{c:?} count drift");
+    }
+}

@@ -88,6 +88,30 @@ pub struct ExecSummary {
     pub message: String,
 }
 
+/// The WLM admission books, snapshotted from the cluster's counters by
+/// [`Cluster::wlm_accounting`]. Read-only; the workload replay driver
+/// and the property suites use it for exactly-once accounting checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WlmAccounting {
+    pub admitted: u64,
+    pub completed: u64,
+    pub aborted: u64,
+    pub evicted: u64,
+    pub rejected: u64,
+    pub hops: u64,
+    pub sqa_admits: u64,
+    pub queued_admits: u64,
+    pub rule_actions: u64,
+}
+
+impl WlmAccounting {
+    /// `admitted == completed + aborted + evicted` — every admission
+    /// reaches exactly one terminal state.
+    pub fn balanced(&self) -> bool {
+        self.admitted == self.completed + self.aborted + self.evicted
+    }
+}
+
 /// A running cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -479,6 +503,26 @@ impl Cluster {
     /// The WLM admission controller (drain control, live queue state).
     pub fn wlm(&self) -> &Arc<WlmController> {
         &self.wlm
+    }
+
+    /// Point-in-time snapshot of the WLM admission books, read from the
+    /// cluster's own counters. The invariant every quiesced cluster
+    /// upholds — and the workload replay harness asserts — is
+    /// `admitted == completed + aborted + evicted`: each admission ends
+    /// in exactly one terminal state (rejections never admit).
+    pub fn wlm_accounting(&self) -> WlmAccounting {
+        let c = |name| self.trace.counter_value(name);
+        WlmAccounting {
+            admitted: c("wlm.admitted"),
+            completed: c("wlm.completed"),
+            aborted: c("wlm.aborted"),
+            evicted: c("wlm.evicted"),
+            rejected: c("wlm.rejected"),
+            hops: c("wlm.hops"),
+            sqa_admits: c("wlm.sqa_admits"),
+            queued_admits: c("wlm.queued_admits"),
+            rule_actions: c("wlm.rule_actions"),
+        }
     }
 
     /// Estimated cost for WLM routing: total logical rows across the

@@ -37,7 +37,7 @@ pub mod systables;
 pub mod wlm;
 
 pub use autonomics::{MaintenanceAction, MaintenancePolicy, UsageStats};
-pub use cluster::{Cluster, ExecSummary, QueryResult};
+pub use cluster::{Cluster, ExecSummary, QueryResult, WlmAccounting};
 pub use config::ClusterConfig;
 pub use result_cache::ResultCache;
 pub use session::{ConnEvent, Session, SessionManager, SessionOpts};

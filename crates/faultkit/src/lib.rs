@@ -10,7 +10,12 @@
 //!
 //! * `err(class)` — return a typed error (throttle / fault / notfound /
 //!   repl), mapped to `RsError` at the call site;
-//! * `delay(ms)`  — sleep, then proceed (latency injection);
+//! * `delay(ms)`  — sleep, then proceed (latency injection). When a
+//!   virtual-time harness has installed a delay hook
+//!   ([`FaultRegistry::install_delay_hook`]), the hook is called with
+//!   the milliseconds instead of sleeping — chaos schedules replayed on
+//!   `simkit` virtual time advance a clock and finish in milliseconds
+//!   of wall time;
 //! * `drop`       — tell the call site to silently skip the operation
 //!   (lost write / lost message semantics, site-defined).
 //!
@@ -278,7 +283,18 @@ pub struct FaultRegistry {
     armed: AtomicU32,
     inner: Mutex<Inner>,
     epoch: Instant,
+    /// When set, `delay(ms)` calls this instead of `thread::sleep` —
+    /// the seam virtual-time replay uses to charge injected latency to
+    /// a sim clock. Kept outside `Inner` (it is not `Debug`, and it is
+    /// read after the registry lock is released).
+    delay_hook: Mutex<Option<DelayHook>>,
 }
+
+/// Receives `delay(ms)` milliseconds in place of a wall sleep.
+/// `std`-only by design: faultkit stays a zero-dependency leaf, so the
+/// clock it advances (e.g. `simkit::VirtualClock`) is captured by the
+/// closure, not named here.
+pub type DelayHook = std::sync::Arc<dyn Fn(u64) + Send + Sync>;
 
 impl std::fmt::Debug for FaultRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -300,7 +316,22 @@ impl FaultRegistry {
                 seq: 0,
             }),
             epoch: Instant::now(),
+            delay_hook: Mutex::new(None),
         }
+    }
+
+    /// Route `delay(ms)` injections through `hook` instead of a wall
+    /// sleep. Install once per virtual-time run (the workload replay
+    /// driver does this in virtual mode); [`Self::clear_delay_hook`]
+    /// restores wall sleeps.
+    pub fn install_delay_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self.delay_hook.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(std::sync::Arc::new(hook));
+    }
+
+    /// Remove any installed delay hook; `delay(ms)` sleeps again.
+    pub fn clear_delay_hook(&self) {
+        *self.delay_hook.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     /// Build from the environment: seed from `RSIM_SEED` (decimal or
@@ -448,7 +479,12 @@ impl FaultRegistry {
             FaultAction::Err(class) => Outcome::Err(class),
             FaultAction::Drop => Outcome::Drop,
             FaultAction::Delay(ms) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms));
+                let hook =
+                    self.delay_hook.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                match hook {
+                    Some(h) => h(ms),
+                    None => std::thread::sleep(std::time::Duration::from_millis(ms)),
+                }
                 Outcome::Proceed
             }
         }
@@ -696,6 +732,33 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].action, "delay");
         assert_eq!(evs[0].class, "-");
+    }
+
+    #[test]
+    fn delay_hook_replaces_sleep_and_still_logs() {
+        use std::sync::atomic::AtomicU64;
+        let reg = FaultRegistry::new(1);
+        let virt_ms = std::sync::Arc::new(AtomicU64::new(0));
+        let sink = std::sync::Arc::clone(&virt_ms);
+        reg.install_delay_hook(move |ms| {
+            sink.fetch_add(ms, Ordering::Relaxed);
+        });
+        reg.configure(fp::S3_GET, FaultSpec::delay_ms(5_000));
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            assert_eq!(reg.fire(fp::S3_GET), Outcome::Proceed);
+        }
+        // 50 virtual seconds of injected latency, near-zero wall time.
+        assert!(t0.elapsed() < std::time::Duration::from_millis(100));
+        assert_eq!(virt_ms.load(Ordering::Relaxed), 50_000);
+        // Served delays still count as injections in the event log.
+        assert_eq!(reg.events().len(), 10);
+        // Clearing the hook restores wall sleeps.
+        reg.clear_delay_hook();
+        reg.configure(fp::S3_GET, FaultSpec::delay_ms(5).once());
+        let t1 = Instant::now();
+        assert_eq!(reg.fire(fp::S3_GET), Outcome::Proceed);
+        assert!(t1.elapsed() >= std::time::Duration::from_millis(5));
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod sim;
 pub mod time;
 
 pub use resource::ServerPool;
-pub use rng::{Dist, SimRng};
+pub use rng::{Dist, SimRng, Zipf};
 pub use sim::Simulation;
-pub use time::SimTime;
+pub use time::{SimTime, VirtualClock};

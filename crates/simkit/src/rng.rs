@@ -105,6 +105,11 @@ impl SimRng {
         self.next_f64() < p
     }
 
+    /// Sample from a precomputed [`Zipf`] distribution.
+    pub fn zipf(&mut self, dist: &Zipf) -> usize {
+        dist.sample(self)
+    }
+
     /// Sample an index from unnormalized weights.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
@@ -185,6 +190,48 @@ impl Dist {
     }
 }
 
+/// A finite Zipf(s) distribution over ranks `0..n`: rank `k` has weight
+/// `1/(k+1)^s`. Precomputes the normalized CDF once so each sample is a
+/// binary search — the workload synthesizer draws from these thousands
+/// of times per schedule (tenant activity skew, repeat-query skew for
+/// the plan/result caches). `s = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf skew must be finite and >= 0: {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // constructor rejects n == 0
+    }
+
+    /// Sample a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +245,30 @@ mod tests {
         }
         let mut c = SimRng::seeded(43);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks_and_uniform_at_zero() {
+        let mut rng = SimRng::seeded(7);
+        let z = Zipf::new(100, 1.1);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90], "{counts:?}");
+        // Rank 0 of Zipf(1.1) over 100 ranks carries ~19% of the mass.
+        assert!(counts[0] as f64 > 0.10 * 20_000.0);
+
+        let u = Zipf::new(10, 0.0);
+        let mut flat = [0u64; 10];
+        for _ in 0..20_000 {
+            flat[u.sample(&mut rng)] += 1;
+        }
+        for &c in &flat {
+            assert!((1_400..=2_600).contains(&c), "uniform at s=0: {flat:?}");
+        }
+        // Every rank is reachable and in range.
+        assert_eq!(z.len(), 100);
     }
 
     #[test]

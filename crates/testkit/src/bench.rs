@@ -596,7 +596,9 @@ fn json_str(s: &str) -> String {
 
 /// `results/` under the workspace root: `RSIM_RESULTS_DIR` if set, else
 /// walk up from the current directory to the `[workspace]` Cargo.toml.
-fn default_results_dir() -> PathBuf {
+/// Public so bench binaries that emit their own CSVs (e.g. the workload
+/// replay report) land them next to the harness-written ones.
+pub fn default_results_dir() -> PathBuf {
     if let Ok(dir) = std::env::var("RSIM_RESULTS_DIR") {
         return PathBuf::from(dir);
     }

@@ -1,0 +1,94 @@
+//! Turn a [`ReplayReport`] into the same CSV shape `testkit::bench`
+//! emits, so `benchdiff` can gate workload p50/p99 exactly like any
+//! other bench: one `results/workload_{class}.csv` per query class.
+
+use crate::replay::ReplayReport;
+use redsim_testkit::bench::Record;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One [`Record`] per class, derived from the replay latency histograms.
+/// `input` labels the replay mode (e.g. `"virtual"`), so virtual and
+/// wall runs never diff against each other.
+pub fn class_records(report: &ReplayReport, input: &str) -> Vec<Record> {
+    report
+        .per_class
+        .iter()
+        .map(|s| {
+            let n = s.latency.count();
+            Record {
+                group: "workload".to_string(),
+                bench: s.class.as_str().to_string(),
+                input: input.to_string(),
+                samples: n as usize,
+                iters_per_sample: 1,
+                mean_ns: if n == 0 { 0.0 } else { s.latency.sum() as f64 / n as f64 },
+                p50_ns: s.latency.quantile(0.5) as f64,
+                p99_ns: s.latency.quantile(0.99) as f64,
+                min_ns: if s.min_ns == u64::MAX { 0.0 } else { s.min_ns as f64 },
+                max_ns: s.latency.max() as f64,
+                throughput_elems: None,
+            }
+        })
+        .collect()
+}
+
+fn record_csv(r: &Record) -> String {
+    // Same header/row shape as testkit's bench reporter; none of our
+    // fields contain commas or quotes, so no escaping is needed.
+    format!(
+        "group,bench,input,samples,iters_per_sample,p50_ns,p99_ns,mean_ns,min_ns,max_ns,elems_per_sec\n\
+         {},{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},\n",
+        r.group, r.bench, r.input, r.samples, r.iters_per_sample, r.p50_ns, r.p99_ns, r.mean_ns,
+        r.min_ns, r.max_ns,
+    )
+}
+
+/// Write `workload_{class}.csv` under `dir` for every class in the
+/// report. Returns the paths written.
+pub fn write_class_csvs(
+    report: &ReplayReport,
+    dir: &Path,
+    input: &str,
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for rec in class_records(report, input) {
+        let path = dir.join(format!("workload_{}.csv", rec.bench));
+        std::fs::write(&path, record_csv(&rec))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QueryClass, WorkloadConfig};
+    use crate::replay::{ReplayDriver, ReplayMode};
+    use redsim_testkit::bench::parse_csv;
+
+    #[test]
+    fn csv_round_trips_through_benchdiff_parser() {
+        let driver = ReplayDriver::new(WorkloadConfig::quick(8).with_seed(3));
+        let cluster = driver.launch("wl-csv").unwrap();
+        let report = driver.run(&cluster, ReplayMode::Virtual).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("rsim-wl-csv-{}", std::process::id()));
+        let paths = write_class_csvs(&report, &dir, "virtual").unwrap();
+        assert_eq!(paths.len(), 3);
+        for (path, class) in paths.iter().zip(QueryClass::ALL) {
+            let text = std::fs::read_to_string(path).unwrap();
+            let recs = parse_csv(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].group, "workload");
+            assert_eq!(recs[0].bench, class.as_str());
+            assert_eq!(recs[0].input, "virtual");
+            if recs[0].samples > 0 {
+                assert!(recs[0].p50_ns > 0.0);
+                assert!(recs[0].p99_ns >= recs[0].p50_ns);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -35,4 +35,5 @@ pub use redsim_simkit as simkit;
 pub use redsim_sql as sql;
 pub use redsim_storage as storage;
 pub use redsim_testkit as testkit;
+pub use redsim_workload as workload;
 pub use redsim_zorder as zorder;

@@ -1,6 +1,10 @@
 //! Cross-crate integration: the full cluster lifecycle the paper
 //! describes, exercised through the public facade crate.
 
+// All statements run through explicit `Session`s (or the cluster-level
+// convenience wrappers); the deprecated `query_as` shim stays banned.
+#![deny(deprecated)]
+
 use redshift_sim::core::{Cluster, ClusterConfig};
 use redshift_sim::replication::SnapshotKind;
 use std::sync::Arc;
