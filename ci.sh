@@ -109,6 +109,22 @@ echo "== chaos invariants, write seams armed (quick property pass) =="
 # replay with RSIM_SEED=<seed> (and RSIM_FAILPOINTS for ad-hoc configs).
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties chaos_
 
+echo "== mvcc invariants (quick property pass) =="
+# Multi-writer transactions: randomized multi-session COPY/INSERT/SELECT
+# schedules over one shared table. Snapshot reads never observe a torn
+# write, first-committer-wins conflicts are counted exactly once (client
+# errors == txn.conflicts == stl_tr_conflict rows), retried losers all
+# land, and quiesce leaks no spans/sessions/WLM slots.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties mvcc_
+
+echo "== crash-recovery invariants (quick property pass) =="
+# Redo-log replay: a seeded write schedule, a crash at a random armed
+# WAL seam (append/sync/commit) with the hard-crash flag up, then
+# recovery. The committed prefix — and nothing else — is visible; the
+# torn statement's orphan blocks are scrubbed; a second crash/recover is
+# a fixpoint. Replay a failure with RSIM_SEED=<seed>.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties recovery_
+
 echo "== session + result cache invariants (quick property pass) =="
 # Randomized multi-session schedules: cache hits bit-identical to cold
 # executions, rolled-back COPY never moves the catalog version, abrupt
@@ -174,13 +190,36 @@ for wl_class in dashboard etl adhoc; do
     "results/workload_${wl_class}_baseline.csv" "results/workload_${wl_class}.csv"
 done
 
+echo "== copy_load WAL-overhead budget (benchdiff gate) =="
+# Every COPY/INSERT now appends+fsyncs a redo-log delta before it
+# commits. Re-running `cargo bench -p redsim-bench --bench copy_load`
+# rewrites results/copy_load.csv; the stock 15% p50 gate against the
+# pre-WAL baseline IS the write-ahead-logging overhead budget.
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/copy_load_baseline.csv results/copy_load.csv
+
+echo "== concurrent COPY baseline is honored (benchdiff gates) =="
+# 1 vs 4 concurrent writers on distinct tables. Both p50 and p99 are
+# gated: a reintroduced global write lock (or a heavier txn/WAL path)
+# convoys the 4-writer tail before it moves the median. Regenerate after
+# an intentional change with
+#   cargo bench --offline -p redsim-bench --bench concurrent_copy
+# and copy results/concurrent_copy.csv over its _baseline.csv.
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/concurrent_copy_baseline.csv results/concurrent_copy.csv
+cargo run -q --offline -p redsim-bench --bin benchdiff -- --p99 \
+  results/concurrent_copy_baseline.csv results/concurrent_copy.csv
+
 echo "== write atomicity (failure-injection gate) =="
 # The pinned rollback scenarios: permanent mirror fault mid-COPY,
 # probabilistic write faults across a COPY batch, multi-object partial
 # parse, INSERT seal failure — each must leave pre-statement state
-# byte-identical (rows, estimates, counters, node-local bytes).
+# byte-identical (rows, estimates, counters, node-local bytes). The
+# wal-seam rollbacks (append/fsync/commit-record) ride the same
+# copy_/wal_ prefixes.
 cargo test -q --offline --test failure_injection copy_
 cargo test -q --offline --test failure_injection failed_
+cargo test -q --offline --test failure_injection wal_
 
 echo "== benchdiff smoke (self-diff must pass, regression must fail) =="
 bd_dir=$(mktemp -d)

@@ -44,6 +44,11 @@ pub enum RsError {
     /// Transaction conflict (the single-leader serialization point
     /// rejected a concurrent writer).
     TxnConflict(String),
+    /// First-committer-wins MVCC conflict: a concurrent writer already
+    /// holds (or committed) a write transaction on the same table. The
+    /// statement touched nothing and is safe to retry verbatim — the
+    /// Redshift "1023: serializable isolation violation" analogue.
+    Serializable(String),
     /// Feature intentionally outside the reproduced SQL subset.
     Unsupported(String),
     /// A service (simulated S3, a saturated mirror, an exhausted retry
@@ -72,6 +77,7 @@ impl RsError {
             RsError::FaultInjected(_) => "FAULT",
             RsError::InvalidState(_) => "STATE",
             RsError::TxnConflict(_) => "TXN",
+            RsError::Serializable(_) => "SERIALIZABLE",
             RsError::Unsupported(_) => "UNSUPPORTED",
             RsError::Throttled(_) => "THROTTLE",
         }
@@ -99,6 +105,7 @@ impl RsError {
             RsError::FaultInjected(m) => RsError::FaultInjected(m + note),
             RsError::InvalidState(m) => RsError::InvalidState(m + note),
             RsError::TxnConflict(m) => RsError::TxnConflict(m + note),
+            RsError::Serializable(m) => RsError::Serializable(m + note),
             RsError::Unsupported(m) => RsError::Unsupported(m + note),
             RsError::Throttled(m) => RsError::Throttled(m + note),
         }
@@ -126,6 +133,7 @@ impl RsError {
             RsError::FaultInjected(_) => true,
             RsError::Replication(_) => true,
             RsError::TxnConflict(_) => true,
+            RsError::Serializable(_) => true,
             // Permanent: deterministic given the request and state.
             RsError::Parse(_)
             | RsError::Analysis(_)
@@ -163,6 +171,7 @@ impl RsError {
             | RsError::FaultInjected(m)
             | RsError::InvalidState(m)
             | RsError::TxnConflict(m)
+            | RsError::Serializable(m)
             | RsError::Unsupported(m)
             | RsError::Throttled(m) => m,
         }
@@ -204,6 +213,7 @@ mod tests {
             RsError::FaultInjected(String::new()),
             RsError::InvalidState(String::new()),
             RsError::TxnConflict(String::new()),
+            RsError::Serializable(String::new()),
             RsError::Unsupported(String::new()),
             RsError::Throttled(String::new()),
         ];
@@ -232,6 +242,7 @@ mod tests {
             RsError::FaultInjected(String::new()),
             RsError::InvalidState(String::new()),
             RsError::TxnConflict(String::new()),
+            RsError::Serializable(String::new()),
             RsError::Unsupported(String::new()),
             RsError::Throttled(String::new()),
         ]
@@ -258,6 +269,7 @@ mod tests {
             ("FAULT", true),
             ("STATE", false),
             ("TXN", true),
+            ("SERIALIZABLE", true),
             ("UNSUPPORTED", false),
             ("THROTTLE", true),
         ]

@@ -10,13 +10,28 @@ use redsim_storage::table::{SliceTable, SortKeySpec, TableConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// An immutable, published snapshot of one table's storage state — the
+/// unit of MVCC visibility. SELECT captures the `Arc` once at statement
+/// start and scans it without ever touching the live slice mutexes, so
+/// readers neither block on nor observe a half-applied concurrent write.
+/// Cheap to build: slice *manifests* are cloned (group descriptors plus
+/// the small unsealed buffer), never block payloads.
+pub struct TableVersion {
+    /// Transaction that published this version (0 = table creation).
+    pub txn: u64,
+    /// One sealed slice image per global slice id.
+    pub slices: Vec<SliceTable>,
+    pub rows_estimate: u64,
+}
+
 /// One table: definition + one [`SliceTable`] per slice.
 pub struct TableEntry {
     pub name: String,
     pub schema: Schema,
     pub dist_style: DistStyle,
     pub sort_key: SortKeySpec,
-    /// Per-slice storage, index = global slice id.
+    /// Per-slice storage, index = global slice id. This is the *live*
+    /// write state; readers go through [`TableEntry::snapshot`].
     pub slices: Vec<Mutex<SliceTable>>,
     /// Row router (owns the EVEN round-robin cursor).
     pub router: Mutex<RowRouter>,
@@ -24,6 +39,13 @@ pub struct TableEntry {
     pub stats: RwLock<Option<TableStats>>,
     /// Cheap running row count (kept even without ANALYZE).
     pub rows_estimate: RwLock<u64>,
+    /// Last committed version (what SELECT sees).
+    pub committed: RwLock<Arc<TableVersion>>,
+    /// First-committer-wins writer lock: a COPY/INSERT `try_lock`s this
+    /// for the statement's duration; a second writer on the same table
+    /// finds it held and fails with `RsError::Serializable` instead of
+    /// queueing. Writers to *different* tables proceed in parallel.
+    pub writer: Mutex<()>,
 }
 
 impl TableEntry {
@@ -43,6 +65,11 @@ impl TableEntry {
         let slices = (0..topology.total_slices())
             .map(|_| Ok(Mutex::new(SliceTable::new(schema.clone(), config.clone())?)))
             .collect::<Result<Vec<_>>>()?;
+        let v0 = TableVersion {
+            txn: 0,
+            slices: slices.iter().map(|s| s.lock().clone()).collect(),
+            rows_estimate: 0,
+        };
         Ok(Arc::new(TableEntry {
             router: Mutex::new(RowRouter::new(dist_style.clone(), topology)),
             name,
@@ -52,7 +79,30 @@ impl TableEntry {
             slices,
             stats: RwLock::new(None),
             rows_estimate: RwLock::new(0),
+            committed: RwLock::new(Arc::new(v0)),
+            writer: Mutex::new(()),
         }))
+    }
+
+    /// The committed version a SELECT should scan. One `Arc` clone; the
+    /// caller holds it for the statement and never touches live slices.
+    pub fn snapshot(&self) -> Arc<TableVersion> {
+        self.committed.read().clone()
+    }
+
+    /// Publish the live slice state as the new committed version.
+    /// Called with the table's `writer` lock held (or under the global
+    /// exclusive `data_lock` for DDL/VACUUM paths), *after* the WAL
+    /// commit mark — publish order is durability first, visibility
+    /// second, so a crash between the two re-derives the version at
+    /// recovery rather than losing it.
+    pub fn publish(&self, txn: u64) {
+        let v = TableVersion {
+            txn,
+            slices: self.slices.iter().map(|s| s.lock().clone()).collect(),
+            rows_estimate: *self.rows_estimate.read(),
+        };
+        *self.committed.write() = Arc::new(v);
     }
 
     /// Total rows across slices (ALL-distributed tables report one copy).
@@ -191,6 +241,11 @@ impl Catalog {
             for _ in 0..n_slices {
                 slices.push(Mutex::new(SliceTable::decode_meta(r)?));
             }
+            let v0 = TableVersion {
+                txn: 0,
+                slices: slices.iter().map(|s| s.lock().clone()).collect(),
+                rows_estimate,
+            };
             catalog.create(Arc::new(TableEntry {
                 router: Mutex::new(RowRouter::new(dist_style.clone(), topology)),
                 name,
@@ -200,6 +255,8 @@ impl Catalog {
                 slices,
                 stats: RwLock::new(None),
                 rows_estimate: RwLock::new(rows_estimate),
+                committed: RwLock::new(Arc::new(v0)),
+                writer: Mutex::new(()),
             }))?;
         }
         Ok(catalog)

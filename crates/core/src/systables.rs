@@ -20,6 +20,7 @@
 //! | `stl_connection_log`| `STL_CONNECTION_LOG`| [`SessionManager`] event ring |
 //! | `svl_query_report`  | `SVL_QUERY_REPORT`  | `profile.step` spans (one row per query × slice × step) |
 //! | `stl_wlm_rule_action` | `STL_WLM_RULE_ACTION` | `wlm_rule_action` spans (QMR firings) |
+//! | `stl_tr_conflict`   | `STL_TR_CONFLICT`   | `tr_conflict` spans (serializable-isolation aborts) |
 
 use crate::session::SessionManager;
 use crate::wlm::WlmController;
@@ -31,7 +32,7 @@ use redsim_obs::{SpanRecord, TraceSink};
 use redsim_storage::table::{ScanOutput, ScanPredicate, SortKeySpec};
 
 /// The virtual tables the leader recognizes.
-pub const SYSTEM_TABLES: [&str; 10] = [
+pub const SYSTEM_TABLES: [&str; 11] = [
     "stl_query",
     "stl_explain",
     "svl_query_metrics",
@@ -42,6 +43,7 @@ pub const SYSTEM_TABLES: [&str; 10] = [
     "stl_connection_log",
     "svl_query_report",
     "stl_wlm_rule_action",
+    "stl_tr_conflict",
 ];
 
 /// Is `name` a leader-side system table?
@@ -143,6 +145,11 @@ fn schema_of(table: &str) -> Schema {
             ColumnDef::new("value", DataType::Int8),
             ColumnDef::new("threshold", DataType::Int8),
             ColumnDef::new("action", DataType::Varchar),
+        ],
+        "stl_tr_conflict" => vec![
+            ColumnDef::new("xact_id", DataType::Int8),
+            ColumnDef::new("table_name", DataType::Varchar),
+            ColumnDef::new("abort_time_us", DataType::Int8),
         ],
         _ => unreachable!("not a system table: {table}"),
     };
@@ -296,6 +303,21 @@ fn materialize(
                     Value::Int8(u64_attr(&r, "value")),
                     Value::Int8(u64_attr(&r, "threshold")),
                     Value::Str(r.attr_str("action").unwrap_or("").to_string()),
+                ]);
+            }
+            return cols;
+        }
+        "stl_tr_conflict" => {
+            // One row per first-committer-wins abort: the losing
+            // transaction's id, the table it contended on, and when the
+            // leader aborted it.
+            let mut spans = sink.records_named("tr_conflict");
+            spans.sort_by_key(|r| r.attr_u64("xact_id").unwrap_or(0));
+            for r in spans {
+                push(vec![
+                    Value::Int8(u64_attr(&r, "xact_id")),
+                    Value::Str(r.attr_str("table").unwrap_or("").to_string()),
+                    Value::Int8((r.start_ns / 1_000) as i64),
                 ]);
             }
             return cols;
@@ -460,6 +482,7 @@ mod tests {
         assert!(is_system_table("STL_CONNECTION_LOG"));
         assert!(is_system_table("svl_query_report"));
         assert!(is_system_table("STL_WLM_RULE_ACTION"));
+        assert!(is_system_table("stl_tr_conflict"));
         assert!(!is_system_table("users"));
     }
 

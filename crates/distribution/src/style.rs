@@ -93,6 +93,19 @@ impl RowRouter {
     pub fn slice_for_key(&self, v: &Value) -> SliceId {
         SliceId((dist_hash(v) % self.total_slices as u64) as u32)
     }
+
+    /// Round-robin cursor position (EVEN distribution). The redo log
+    /// persists this so recovery resumes the rotation exactly where the
+    /// last committed batch left it — otherwise replayed and live
+    /// clusters would route the *next* load differently.
+    pub fn cursor(&self) -> u32 {
+        self.cursor
+    }
+
+    /// Restore a cursor persisted by [`RowRouter::cursor`].
+    pub fn set_cursor(&mut self, cursor: u32) {
+        self.cursor = if self.total_slices == 0 { 0 } else { cursor % self.total_slices };
+    }
 }
 
 fn gather_per_slice(cols: &[ColumnData], sel: &[Vec<u32>]) -> Vec<Vec<ColumnData>> {

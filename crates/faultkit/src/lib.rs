@@ -79,6 +79,20 @@ pub mod fp {
     pub const RESTORE_PAGE_FAULT: &str = "restore.page_fault";
     /// Per-object fetch in the COPY loader (`Cluster::run_copy`).
     pub const COPY_FETCH_OBJECT: &str = "copy.fetch_object";
+    /// Redo-log record append (`Wal::append`), before the record lands
+    /// in the unsynced tail.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// Redo-log fsync point (`Wal::sync`), before unsynced bytes become
+    /// durable.
+    pub const WAL_SYNC: &str = "wal.sync";
+    /// Commit-record append+sync (`Wal::commit`): a fault here models a
+    /// crash after the payload is durable but before the commit mark.
+    pub const WAL_COMMIT: &str = "wal.commit";
+    /// Log truncation after a checkpoint record (`Wal::truncate_to`).
+    pub const WAL_TRUNCATE: &str = "wal.truncate";
+    /// Front-door connection teardown between executing a statement and
+    /// sending its reply frame (`frontdoor::handle_conn`).
+    pub const FRONTDOOR_DISCONNECT: &str = "frontdoor.disconnect";
 
     /// All canonical names, for docs/tests/chaos generators.
     pub const ALL: &[&str] = &[
@@ -91,6 +105,11 @@ pub mod fp {
         MIRROR_RE_REPLICATE,
         RESTORE_PAGE_FAULT,
         COPY_FETCH_OBJECT,
+        WAL_APPEND,
+        WAL_SYNC,
+        WAL_COMMIT,
+        WAL_TRUNCATE,
+        FRONTDOOR_DISCONNECT,
     ];
 }
 

@@ -326,6 +326,17 @@ fn handle_conn(
                 break;
             }
         };
+        // Chaos seam: the client vanishes between executing a statement
+        // and reading its reply. The statement's effect must stand (a
+        // commit) or be invisible (an error) — never half-applied — and
+        // the handler must clean up exactly like a polite disconnect.
+        if !matches!(
+            cluster.faults().fire(redsim_faultkit::fp::FRONTDOOR_DISCONNECT),
+            redsim_faultkit::Outcome::Proceed
+        ) {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
         if send(&mut stream, &reply).is_err() {
             break;
         }

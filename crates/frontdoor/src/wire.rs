@@ -386,6 +386,7 @@ pub fn decode_error(code: &str, message: String) -> RsError {
         "FAULT" => RsError::FaultInjected(message),
         "STATE" => RsError::InvalidState(message),
         "TXN" => RsError::TxnConflict(message),
+        "SERIALIZABLE" => RsError::Serializable(message),
         "UNSUPPORTED" => RsError::Unsupported(message),
         "THROTTLE" => RsError::Throttled(message),
         _ => RsError::Execution(message),
@@ -478,6 +479,7 @@ mod tests {
             RsError::FaultInjected("f".into()),
             RsError::InvalidState("is".into()),
             RsError::TxnConflict("t".into()),
+            RsError::Serializable("si".into()),
             RsError::Unsupported("u".into()),
             RsError::Throttled("th".into()),
         ];

@@ -397,6 +397,14 @@ impl ReplicatedStore {
         self.placements.read().get(&id.0).copied()
     }
 
+    /// Every block id with a live placement. Crash recovery's scrub pass
+    /// diffs this against the manifests it rebuilt from the redo log:
+    /// anything placed but unreferenced is an orphan from a transaction
+    /// that died before its commit mark, and gets deleted.
+    pub fn placed_block_ids(&self) -> Vec<BlockId> {
+        self.placements.read().keys().map(|&id| BlockId(id)).collect()
+    }
+
     /// (secondary reads, s3 page-fault reads) served so far.
     pub fn fallthrough_stats(&self) -> (u64, u64) {
         (*self.secondary_reads.lock(), *self.s3_reads.lock())

@@ -27,6 +27,10 @@
 //! * [`stats`] — `ANALYZE` statistics: row counts, NDV via KMV sketch,
 //!   min/max, used by the optimizer's join ordering and distribution
 //!   decisions.
+//! * [`wal`] — the write-ahead redo log: append → fsync-point →
+//!   commit-record framing over slice manifests, router cursors and
+//!   stats, replayed by crash recovery so committed writes survive a
+//!   process crash and uncommitted ones stay invisible.
 //!
 //! Blocks here are *row-group aligned*: every column of a row group is one
 //! block, and groups target a fixed byte size via the configured rows per
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod store;
 pub mod table;
 pub mod varint;
+pub mod wal;
 pub mod zonemap;
 
 pub use analyzer::{analyze_compression, encoding_report};
@@ -49,4 +54,5 @@ pub use encoding::{decode_column, encode_column, Encoding};
 pub use stats::{ColumnStats, TableStats};
 pub use store::{BlockStore, MemBlockStore};
 pub use table::{ColumnRange, ScanPredicate, SliceTable, SortKeySpec, TableConfig};
+pub use wal::{Wal, WalRecord};
 pub use zonemap::ZoneMap;

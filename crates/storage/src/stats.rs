@@ -6,7 +6,9 @@
 //! are "updated with load" by default — another dusty knob — so the COPY
 //! path refreshes these incrementally.
 
-use redsim_common::{fx_hash64, ColumnData, Value};
+use crate::zonemap::{decode_value, encode_value};
+use redsim_common::codec::{Reader, Writer};
+use redsim_common::{fx_hash64, ColumnData, Result, Value};
 
 /// KMV distinct-value sketch: keep the k smallest 64-bit hashes seen;
 /// NDV ≈ (k-1) / max_kept (normalized). Mergeable, tiny, and accurate
@@ -75,11 +77,67 @@ pub struct ColumnStats {
     pub avg_width: f64,
 }
 
+impl ColumnStats {
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.rows);
+        w.put_u64(self.nulls);
+        for v in [&self.min, &self.max] {
+            match v {
+                Some(v) => {
+                    w.put_bool(true);
+                    encode_value(w, v);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_f64(self.ndv);
+        w.put_f64(self.avg_width);
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self> {
+        let rows = r.get_u64()?;
+        let nulls = r.get_u64()?;
+        let mut bounds = [None, None];
+        for b in &mut bounds {
+            if r.get_bool()? {
+                *b = Some(decode_value(r)?);
+            }
+        }
+        let [min, max] = bounds;
+        Ok(ColumnStats { rows, nulls, min, max, ndv: r.get_f64()?, avg_width: r.get_f64()? })
+    }
+}
+
 /// Statistics for one table (column order matches the schema).
 #[derive(Debug, Clone)]
 pub struct TableStats {
     pub rows: u64,
     pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Serialize for the redo log. The KMV sketch itself is *not*
+    /// carried — `finish()` already collapsed it to the `ndv` point
+    /// estimate, which is all the optimizer reads; post-recovery loads
+    /// re-seed sketches from scratch exactly like a fresh `ANALYZE`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.rows);
+        w.put_u32(self.columns.len() as u32);
+        for c in &self.columns {
+            c.encode(w);
+        }
+    }
+
+    /// Inverse of [`TableStats::encode`].
+    pub fn decode(r: &mut Reader) -> Result<Self> {
+        let rows = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            columns.push(ColumnStats::decode(r)?);
+        }
+        Ok(TableStats { rows, columns })
+    }
 }
 
 /// Incremental statistics builder fed by the load path.
@@ -250,6 +308,38 @@ mod tests {
         assert_eq!(stats.columns[0].max.as_ref().unwrap().as_i64(), Some(9));
         assert!((stats.columns[0].ndv - 10.0).abs() < 0.5);
         assert!(stats.columns[1].avg_width > 0.0);
+    }
+
+    #[test]
+    fn table_stats_roundtrip() {
+        let mut ints = ColumnData::new(DataType::Int8);
+        let mut strs = ColumnData::new(DataType::Varchar);
+        for i in 0..500i64 {
+            ints.push_value(&Value::Int8(i)).unwrap();
+            if i % 3 == 0 {
+                strs.push_null();
+            } else {
+                strs.push_value(&Value::Str(format!("v{i}"))).unwrap();
+            }
+        }
+        let mut b = StatsBuilder::new(2);
+        b.update(&[ints, strs]);
+        let stats = b.finish();
+        let mut w = Writer::new();
+        stats.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = TableStats::decode(&mut r).unwrap();
+        assert_eq!(back.rows, stats.rows);
+        assert_eq!(back.columns.len(), 2);
+        for (a, b) in back.columns.iter().zip(&stats.columns) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.nulls, b.nulls);
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+            assert_eq!(a.ndv, b.ndv);
+            assert_eq!(a.avg_width, b.avg_width);
+        }
     }
 
     #[test]

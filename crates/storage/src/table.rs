@@ -143,7 +143,11 @@ impl WriteCheckpoint {
 }
 
 /// Columnar storage of one table on one slice.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: MVCC publishes a committed *version* of every
+/// slice (manifests only — block payloads live in the store), so a deep
+/// copy here is a few group descriptors, not table data.
+#[derive(Debug, Clone)]
 pub struct SliceTable {
     schema: Schema,
     config: TableConfig,
@@ -498,6 +502,23 @@ impl SliceTable {
     /// region (by the table's sort key), rewriting all blocks. Returns
     /// the number of rows rewritten.
     pub fn vacuum(&mut self, store: &dyn BlockStore) -> Result<u64> {
+        let (rows, old_blocks) = self.vacuum_deferred(store)?;
+        for id in old_blocks {
+            store.delete(id);
+        }
+        Ok(rows)
+    }
+
+    /// [`SliceTable::vacuum`] with the old blocks' deletion *deferred*:
+    /// the rewrite installs new groups but leaves the pre-vacuum blocks
+    /// in the store, returning their ids for the caller to delete. The
+    /// crash-recovery write path needs this ordering — old blocks must
+    /// outlive the WAL commit of the post-vacuum manifests, so that a
+    /// crash on either side of the commit leaves one complete, readable
+    /// block set (the other side's blocks become scrubbable orphans).
+    /// On error the table is untouched and any partially-written new
+    /// blocks are scrubbed.
+    pub fn vacuum_deferred(&mut self, store: &dyn BlockStore) -> Result<(u64, Vec<BlockId>)> {
         // Materialize everything.
         let all_cols_idx: Vec<usize> = (0..self.schema.len()).collect();
         let scanned = self.scan(store, &all_cols_idx, None)?;
@@ -512,6 +533,7 @@ impl SliceTable {
 
         // Establish sort order.
         let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut new_znorm = None;
         match &self.config.sort_key {
             SortKeySpec::None => {}
             SortKeySpec::Compound(keys) => {
@@ -531,30 +553,44 @@ impl SliceTable {
                 let codes: Vec<u128> =
                     (0..n).map(|row| zcode_of_row(&norm, &full, row)).collect();
                 order.sort_by_key(|&i| codes[i as usize]);
-                self.znorm = Some(norm);
+                new_znorm = Some(norm);
             }
         }
         let sorted_cols: Vec<ColumnData> = full.iter().map(|c| c.gather(&order)).collect();
 
-        // Drop old blocks and rewrite.
-        for id in self.block_ids() {
-            store.delete(id);
+        // Rewrite into new blocks first; the old blocks stay until the
+        // caller deletes them. Stage into a local vec so a mid-rewrite
+        // error leaves `self` exactly as it was.
+        let old_blocks = self.block_ids();
+        if let Some(norm) = new_znorm {
+            self.znorm = Some(norm);
         }
-        self.sorted.clear();
-        self.unsorted.clear();
-        self.buffer =
-            self.schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
-
+        let mut new_sorted = Vec::new();
         let mut offset = 0usize;
         while offset < n {
             let end = (offset + self.config.rows_per_group).min(n);
             let group_cols: Vec<ColumnData> =
                 sorted_cols.iter().map(|c| c.slice(offset, end)).collect();
-            let group = self.encode_group(&group_cols, store)?;
-            self.sorted.push(group);
+            let group = match self.encode_group(&group_cols, store) {
+                Ok(g) => g,
+                Err(e) => {
+                    for g in &new_sorted {
+                        let g: &RowGroup = g;
+                        for b in &g.cols {
+                            store.delete(b.id);
+                        }
+                    }
+                    return Err(e);
+                }
+            };
+            new_sorted.push(group);
             offset = end;
         }
-        Ok(n as u64)
+        self.sorted = new_sorted;
+        self.unsorted.clear();
+        self.buffer =
+            self.schema.columns().iter().map(|c| ColumnData::new(c.data_type)).collect();
+        Ok((n as u64, old_blocks))
     }
 
     /// Compute full table statistics (ANALYZE) for this slice.

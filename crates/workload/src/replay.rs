@@ -325,7 +325,25 @@ fn run_op(
         },
         OpKind::Copy { key, .. } => {
             let copy = format!("COPY events FROM 's3://{key}'");
-            (false, session.execute(&copy).is_err())
+            // Concurrent writers into one table resolve first-committer-
+            // wins: the loser sees a retryable serializable-isolation
+            // error. Retry like a real ETL client — every conflict means
+            // some other writer committed, so progress is guaranteed.
+            let mut err = true;
+            for _ in 0..64 {
+                match session.execute(&copy) {
+                    Ok(_) => {
+                        err = false;
+                        break;
+                    }
+                    Err(e) if e.is_retryable() => {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            (false, err)
         }
     };
     let ns = t0.elapsed().as_nanos() as u64;

@@ -628,6 +628,61 @@ fn copy_aborted_mid_objects_by_parse_error_leaves_zero_rows() {
 }
 
 #[test]
+fn copy_failing_at_each_wal_seam_rolls_back_cleanly() {
+    // The redo-log seams (record append, fsync, commit record) each
+    // abort the statement: pre-statement state stays byte-identical, the
+    // error keeps its injected class, and the log itself stays coherent —
+    // the retried COPY lands and the whole table survives a crash.
+    for seam in [fp::WAL_APPEND, fp::WAL_SYNC, fp::WAL_COMMIT] {
+        let c = Cluster::launch(
+            ClusterConfig::new(format!("walseam-{}", seam.replace('.', "-")))
+                .nodes(2)
+                .slices_per_node(1)
+                .rows_per_group(32)
+                .retry(fast_retry()),
+        )
+        .unwrap();
+        load(&c, 500);
+        let pre = pre_write(&c, "t");
+        let mut csv = String::new();
+        for i in 0..200 {
+            csv.push_str(&format!("{i},w-{i}\n"));
+        }
+        c.put_s3_object("w/1", csv.into_bytes());
+        c.faults().configure(seam, FaultSpec::err(ErrClass::Fault).once());
+        let err = c.execute("COPY t FROM 's3://w/'").unwrap_err();
+        assert!(err.is_retryable(), "{seam}: {err}");
+        assert!(err.to_string().contains(seam), "{seam}: {err}");
+        assert_unchanged(&c, "t", &pre, seam);
+        // The statement-level retry contract holds: same COPY, clean log.
+        c.execute("COPY t FROM 's3://w/'").unwrap();
+        let n = c.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64().unwrap();
+        assert_eq!(n, 700, "{seam}");
+        // Nothing about the failed attempt leaked into the redo log: a
+        // crash + replay reconstructs exactly the committed 700 rows.
+        let r = Cluster::recover(c.crash().unwrap()).unwrap();
+        let n = r.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64().unwrap();
+        assert_eq!(n, 700, "{seam}: recovery");
+    }
+}
+
+#[test]
+fn wal_truncate_failure_is_absorbed_not_surfaced() {
+    // Log truncation after a checkpoint is pure space reclamation: the
+    // checkpoint is already durable, so a truncate fault must not fail
+    // the statement — it is counted and retried at the next checkpoint.
+    let c = Cluster::launch(ClusterConfig::new("waltrunc").nodes(2).slices_per_node(1)).unwrap();
+    c.faults().configure(fp::WAL_TRUNCATE, FaultSpec::err(ErrClass::Fault).once());
+    c.execute("CREATE TABLE t (a BIGINT, s VARCHAR(64))").unwrap();
+    assert_eq!(c.trace().counter_value("wal.truncate_errors"), 1);
+    c.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+    // Durability was never at risk: crash + recover sees everything.
+    let r = Cluster::recover(c.crash().unwrap()).unwrap();
+    let n = r.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64().unwrap();
+    assert_eq!(n, 1);
+}
+
+#[test]
 fn failed_insert_rolls_back_router_and_estimates() {
     // INSERT is transactional too: a mirror fault during the flush-seal
     // leaves no rows, no estimate drift, and no round-robin cursor

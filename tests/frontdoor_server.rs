@@ -114,6 +114,45 @@ fn abrupt_disconnect_cleans_up_session() {
 }
 
 #[test]
+fn mid_statement_disconnect_commits_fully_or_not_at_all() {
+    use redshift_sim::faultkit::{fp, ErrClass, FaultSpec};
+    let (cluster, door) = served_cluster("fdchaos", ServerOpts::default());
+
+    // Case 1: the write commits, then the connection dies before the
+    // reply frame leaves the server. The client sees a transport error,
+    // but the committed row must stand.
+    cluster.faults().configure(fp::FRONTDOOR_DISCONNECT, FaultSpec::drop_op().once());
+    let mut c = WireClient::connect(door.addr(), "ada", None).unwrap();
+    assert!(c.execute("INSERT INTO t VALUES (4, 'w')").is_err(), "reply frame never arrives");
+    drop(c);
+    wait_until("case-1 session cleanup", || cluster.session_manager().active_count() == 0);
+    let r = cluster.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0].get(0).as_i64(), Some(4), "commit survives the lost reply");
+
+    // Case 2: the statement itself dies at the WAL commit seam AND the
+    // connection drops. The write must be rolled back invisibly — the
+    // client can't tell the difference, the table must.
+    cluster.faults().configure(fp::WAL_COMMIT, FaultSpec::err(ErrClass::Fault).once());
+    cluster.faults().configure(fp::FRONTDOOR_DISCONNECT, FaultSpec::drop_op().once());
+    let mut c2 = WireClient::connect(door.addr(), "bob", None).unwrap();
+    assert!(c2.execute("INSERT INTO t VALUES (5, 'x')").is_err());
+    drop(c2);
+    wait_until("case-2 session cleanup", || cluster.session_manager().active_count() == 0);
+    let r = cluster.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0].get(0).as_i64(), Some(4), "failed write stays invisible");
+
+    // No leaks on either path: handler gone, gauges back to zero.
+    wait_until("handlers to exit", || door.active_connections() == 0);
+    assert_eq!(cluster.trace().gauge_value("frontdoor.connections"), 0);
+    assert_eq!(cluster.trace().gauge_value("sessions.active"), 0);
+    assert_eq!(cluster.faults().armed_count(), 0, "both failpoints fired exactly once");
+    // The server keeps serving after injected disconnects.
+    let mut c3 = WireClient::connect(door.addr(), "eve", None).unwrap();
+    assert_eq!(c3.query("SELECT COUNT(*) FROM t").unwrap().rows[0].get(0).as_i64(), Some(4));
+    c3.bye().unwrap();
+}
+
+#[test]
 fn drain_finishes_in_flight_work_and_stops_accepting() {
     let (cluster, door) = served_cluster("fddrain", ServerOpts::default());
     let addr = door.addr();

@@ -552,9 +552,17 @@ fn wlm_admission_invariants() {
                     }
                     _ => {
                         // COPY takes the write path: not WLM-controlled.
+                        // Concurrent COPYs into one table resolve first-
+                        // committer-wins; losers get a retryable
+                        // serializable conflict and retry like a client.
                         let key = format!("w/extra-{lit}");
                         c.put_s3_object(&key, format!("{lit},{lit}\n").into_bytes());
-                        c.execute(&format!("COPY big FROM 's3://{key}'")).map(|_| ())
+                        loop {
+                            match c.execute(&format!("COPY big FROM 's3://{key}'")) {
+                                Err(e) if e.is_retryable() => std::thread::yield_now(),
+                                r => break r.map(|_| ()),
+                            }
+                        }
                     }
                 };
                 // Generous waits + bounded load: nothing may fail here.
@@ -1516,9 +1524,12 @@ fn workload_wlm_qmr_replay_accounting_and_sqa_latency() {
     assert_eq!(cluster.session_manager().active_count(), 0, "session leak");
     // The short-query path pays off end to end: dashboard p50 (repeat
     // panels, SQA-eligible) lands under the ETL class p50 (self-joins).
+    // `<=` not `<`: quantiles come out of log-bucketed histograms
+    // (≤12.5% error), so on a loaded single-core runner two distinct
+    // true p50s can quantize into the same bucket and report equal.
     let dash = report.class(QueryClass::Dashboard).latency.quantile(0.5);
     let etl = report.class(QueryClass::Etl).latency.quantile(0.5);
-    assert!(dash < etl, "dashboard p50 {dash}ns should beat ETL p50 {etl}ns");
+    assert!(dash <= etl, "dashboard p50 {dash}ns should beat ETL p50 {etl}ns");
 }
 
 #[test]
@@ -1550,4 +1561,209 @@ fn workload_chaos_delay_rides_virtual_clock() {
          (replay took {wall:?})"
     );
     assert!(report.virtual_end.as_micros() > 0);
+}
+
+// ---------------------------------------------------------------------
+// MVCC snapshots + first-committer-wins (multi-writer transactions).
+// ---------------------------------------------------------------------
+
+/// Per-thread statement scripts over one shared table. kind 0 = snapshot
+/// COUNT, kind 1 = 3-row INSERT, kind 2 = 3-row COPY; the literal keys
+/// the written values.
+fn arb_mvcc_workload() -> Gen<Vec<Vec<(usize, i64)>>> {
+    prop::vec_of(
+        prop::vec_of(prop::pair(prop::range(0usize..3), prop::range(0i64..1_000)), 1..8),
+        2..5,
+    )
+}
+
+#[test]
+fn mvcc_snapshot_reads_and_first_committer_wins() {
+    use redshift_sim::common::RsError;
+    use redshift_sim::testkit::par;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let cfg = Config::with_cases(24).regressions_file(regressions());
+    prop::check(
+        "mvcc_snapshot_reads_and_first_committer_wins",
+        &cfg,
+        &arb_mvcc_workload(),
+        |threads| {
+            let c = Cluster::launch(
+                ClusterConfig::new("mvcc-prop").nodes(2).slices_per_node(2),
+            )
+            .unwrap();
+            c.execute("CREATE TABLE m (k BIGINT, v BIGINT) DISTKEY(k)").unwrap();
+            let committed = AtomicU64::new(0);
+            let conflicts_seen = AtomicU64::new(0);
+            let results: Vec<Result<(), String>> = par::map(threads.clone(), |script| {
+                // One client connection per thread; the result cache is
+                // off so every COUNT really snapshots the catalog.
+                let s = c
+                    .connect(SessionOpts::new("mvcc").result_cache(false))
+                    .map_err(|e| e.to_string())?;
+                let mut last = 0i64;
+                for (kind, lit) in script {
+                    match kind {
+                        0 => {
+                            let r =
+                                s.query("SELECT COUNT(*) FROM m").map_err(|e| e.to_string())?;
+                            let n = r.rows[0].get(0).as_i64().unwrap();
+                            // Every committed write is exactly 3 rows: a
+                            // snapshot read must never see a torn write …
+                            if n % 3 != 0 {
+                                return Err(format!("torn snapshot: {n} rows"));
+                            }
+                            // … and commits are monotonic, so one session's
+                            // sequential reads never travel back in time.
+                            if n < last {
+                                return Err(format!("time travel: {n} after {last}"));
+                            }
+                            last = n;
+                        }
+                        kind => {
+                            let stmt = if kind == 1 {
+                                format!(
+                                    "INSERT INTO m VALUES ({lit}, 1), ({lit}, 2), ({lit}, 3)"
+                                )
+                            } else {
+                                // Trailing slash keeps prefixes disjoint:
+                                // COPY 's3://mv/45/' must not also match
+                                // a thread's 'mv/450/…' objects.
+                                c.put_s3_object(
+                                    &format!("mv/{lit}/data"),
+                                    format!("{lit},1\n{lit},2\n{lit},3\n").into_bytes(),
+                                );
+                                format!("COPY m FROM 's3://mv/{lit}/'")
+                            };
+                            // First committer wins; the loser retries the
+                            // statement, exactly as the error instructs.
+                            loop {
+                                match s.execute(&stmt) {
+                                    Ok(_) => {
+                                        committed.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    Err(RsError::Serializable(_)) => {
+                                        conflicts_seen.fetch_add(1, Ordering::Relaxed);
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => return Err(e.to_string()),
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            });
+            for r in results {
+                r.unwrap();
+            }
+
+            // Exactly-one-winner accounting: every conflict a client saw
+            // is one txn.conflicts tick and one stl_tr_conflict row.
+            let seen = conflicts_seen.load(Ordering::Relaxed);
+            assert_eq!(c.trace().counter_value("txn.conflicts"), seen);
+            let log = c.query("SELECT COUNT(*) FROM stl_tr_conflict").unwrap();
+            assert_eq!(log.rows[0].get(0).as_i64(), Some(seen as i64));
+
+            // All retried writes eventually committed; nothing was lost
+            // or double-applied.
+            let n = c.query("SELECT COUNT(*) FROM m").unwrap().rows[0]
+                .get(0)
+                .as_i64()
+                .unwrap();
+            assert_eq!(n as u64, committed.load(Ordering::Relaxed) * 3);
+            assert_eq!(c.rows_estimate("m"), Some(n as u64));
+
+            // Leak freedom at quiesce: spans closed, sessions gone, WLM
+            // slots drained.
+            assert_eq!(c.trace().open_spans(), 0, "span leak");
+            assert_eq!(c.session_manager().active_count(), 0, "session leak");
+            for sc in c.wlm().service_class_states() {
+                assert_eq!(sc.in_flight, 0, "{}: slot leaked", sc.name);
+                assert_eq!(sc.queued, 0, "{}: waiter leaked", sc.name);
+            }
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery as a property: a seeded write schedule, a crash at a
+// random armed WAL seam, recovery, and the committed-prefix invariant.
+// ---------------------------------------------------------------------
+
+/// (write values, torn-statement seam). seam 0 = clean crash (no torn
+/// statement), 1..=3 = the WAL seam the final, uncommitted statement
+/// dies at.
+fn arb_recovery_case() -> Gen<(Vec<i64>, usize)> {
+    prop::pair(prop::vec_of(prop::range(1i64..1_000), 1..10), prop::range(0usize..4))
+}
+
+#[test]
+fn recovery_replays_exactly_the_committed_prefix() {
+    use redshift_sim::faultkit::{fp, ErrClass, FaultSpec};
+
+    let cfg = Config::with_cases(16).regressions_file(regressions());
+    prop::check(
+        "recovery_replays_exactly_the_committed_prefix",
+        &cfg,
+        &arb_recovery_case(),
+        |(values, seam)| {
+            let c = Cluster::launch(
+                ClusterConfig::new("rec-prop").nodes(2).slices_per_node(2).rows_per_group(32),
+            )
+            .unwrap();
+            c.execute("CREATE TABLE r (k BIGINT, v BIGINT)").unwrap();
+            // The committed prefix: alternate INSERT and COPY so both
+            // delta shapes land in the redo log.
+            let mut sum = 0i64;
+            for (i, v) in values.iter().enumerate() {
+                if i % 2 == 0 {
+                    c.execute(&format!("INSERT INTO r VALUES ({v}, {i})")).unwrap();
+                } else {
+                    let key = format!("rv/{i}");
+                    c.put_s3_object(&key, format!("{v},{i}\n").into_bytes());
+                    c.execute(&format!("COPY r FROM 's3://{key}'")).unwrap();
+                }
+                sum += v;
+            }
+
+            // The torn statement (if any): dies at a WAL seam with the
+            // hard-crash flag up, so its blocks stay behind as orphans —
+            // the state a real power cut leaves.
+            if *seam > 0 {
+                let point =
+                    [fp::WAL_APPEND, fp::WAL_SYNC, fp::WAL_COMMIT][(seam - 1) % 3];
+                c.arm_hard_crash();
+                c.faults().configure(point, FaultSpec::err(ErrClass::Fault).once());
+                c.execute("INSERT INTO r VALUES (1000000, 0)").unwrap_err();
+            }
+
+            let r = Cluster::recover(c.crash().unwrap()).unwrap();
+            let q = r.query("SELECT COUNT(*), SUM(k) FROM r").unwrap();
+            assert_eq!(
+                q.rows[0].get(0).as_i64(),
+                Some(values.len() as i64),
+                "recovered row count must equal the committed prefix"
+            );
+            assert_eq!(q.rows[0].get(1).as_i64(), Some(sum), "recovered content drifted");
+            assert_eq!(r.rows_estimate("r"), Some(values.len() as u64));
+            if *seam > 0 {
+                assert!(
+                    r.trace().counter_value("recovery.orphan_blocks_scrubbed") > 0,
+                    "the torn statement's blocks must be scrubbed at recovery"
+                );
+            }
+
+            // Recovery is idempotent (crash the recovered cluster before
+            // any new write: same answer), and the revived cluster is a
+            // first-class writer again.
+            let r2 = Cluster::recover(r.crash().unwrap()).unwrap();
+            let q2 = r2.query("SELECT COUNT(*), SUM(k) FROM r").unwrap();
+            assert_eq!(q2.rows, q.rows, "second crash/recover must be a fixpoint");
+            r2.execute("INSERT INTO r VALUES (7, 7)").unwrap();
+            assert_eq!(r2.rows_estimate("r"), Some(values.len() as u64 + 1));
+        },
+    );
 }
