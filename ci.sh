@@ -152,6 +152,15 @@ echo "== workload replay invariants (quick property pass) =="
 # sleeping. Reproduce a failing case with RSIM_SEED=<seed>.
 RSIM_PROP_CASES=4 cargo test -q --offline --test properties workload_
 
+echo "== vectorized-kernel invariants (quick property pass) =="
+# Differential fuzz of the typed columnar kernels against the boxed
+# row-at-a-time interpreter: random batches (NULLs, NaN/±0/±inf float
+# specials) under random predicate trees must agree bit-for-bit
+# whenever the kernel path covers the expression, and coverage itself
+# is asserted (>50% of generated trees). NaN total-order comparisons
+# are pinned exhaustively. Reproduce with RSIM_SEED=<seed>.
+RSIM_PROP_CASES=4 cargo test -q --offline --test properties vector_
+
 echo "== frontdoor wire-server smoke (64 concurrent sessions) =="
 # The concurrent TCP server end to end: 64 clients, backlog rejection
 # with a retryable THROTTLE, typed errors over the wire, graceful drain.
@@ -209,6 +218,33 @@ cargo run -q --offline -p redsim-bench --bin benchdiff -- \
   results/concurrent_copy_baseline.csv results/concurrent_copy.csv
 cargo run -q --offline -p redsim-bench --bin benchdiff -- --p99 \
   results/concurrent_copy_baseline.csv results/concurrent_copy.csv
+
+echo "== scan-kernel pipeline baseline is honored (benchdiff gates) =="
+# The scan_kernels bench times the same scan→filter→aggregate loop
+# through the typed kernels and through the interpreter fallback
+# (identical selection vectors asserted before timing), the persistent
+# worker pool vs thread-per-item spawn, and the one-pass bytedict build
+# vs the old serialize-every-row reference. Both p50 and p99 are gated:
+# a kernel that falls back to the interpreter, or a pool that starts
+# spawning, shows up here first. Regenerate after an intentional change
+# with
+#   cargo bench --offline -p redsim-bench --bench scan_kernels
+# and copy results/scan_kernels.csv over its _baseline.csv.
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/scan_kernels_baseline.csv results/scan_kernels.csv
+cargo run -q --offline -p redsim-bench --bin benchdiff -- --p99 \
+  results/scan_kernels_baseline.csv results/scan_kernels.csv
+
+echo "== encode (e9) budget is honored (benchdiff gate) =="
+# The E9 encoding microbenches, re-baselined after the one-pass
+# bytedict build (slot hashes over the raw column payload, no per-row
+# Writer, no owned keys): dictionary-friendly shapes encode 9-20x
+# faster than the pre-change baseline. The stock 15% p50 gate keeps
+# that budget from silently eroding. Regenerate with
+#   cargo bench --offline -p redsim-bench --bench encodings
+# and copy results/e9_encodings.csv over its _baseline.csv.
+cargo run -q --offline -p redsim-bench --bin benchdiff -- \
+  results/e9_encodings_baseline.csv results/e9_encodings.csv
 
 echo "== write atomicity (failure-injection gate) =="
 # The pinned rollback scenarios: permanent mirror fault mid-COPY,

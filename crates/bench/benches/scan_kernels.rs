@@ -1,0 +1,253 @@
+//! Scan-pipeline kernels bench — the tentpole measurements for the
+//! vectorized predicate kernels and the bounded worker pool.
+//!
+//! Three groups, one CSV (`results/scan_kernels.csv`, gated by
+//! `benchdiff` p50 *and* p99 against the committed baseline):
+//!
+//! * `scan_pipeline` — the same scan→filter→aggregate loop twice: once
+//!   through the typed kernels (`engine::kernels::try_eval_predicate`,
+//!   what `eval_predicate` now runs), once through the row-at-a-time
+//!   `Value`-boxed interpreter fallback. The two must return identical
+//!   selection vectors (asserted per batch); the committed baseline
+//!   records kernel p50 at least 2x below interp.
+//! * `spawn_vs_pool` — `testkit::par::map_indexed` (persistent
+//!   work-stealing pool) vs a fresh `thread::scope` spawn per item, at
+//!   fan-out sizes bracketing the old thread-per-item design's sweet
+//!   spot. See EXPERIMENTS.md for the crossover recipe.
+//! * `encode` — one-pass bytedict build on the E9 low-cardinality text
+//!   shape (the `slot_hash`/`slot_eq` dictionary, no per-row `Writer`).
+//!
+//! Regenerate after an intentional perf change with
+//!   cargo bench --offline -p redsim-bench --bench scan_kernels
+//! and copy results/scan_kernels.csv over results/scan_kernels_baseline.csv.
+
+use redsim_common::{ColumnData, DataType, FxHashMap, Value};
+use redsim_engine::expr::{eval_predicate, eval_predicate_interp};
+use redsim_sql::ast::BinaryOp;
+use redsim_sql::plan::BoundExpr;
+use redsim_storage::encoding::{encode_column, Encoding};
+use redsim_testkit::bench::{Bench, BenchmarkId};
+use redsim_testkit::par;
+
+const BATCHES: usize = 32;
+const ROWS: usize = 4_096;
+
+/// Batches of (k Int8, v Float8, s Varchar) with ~1/16 NULLs and a
+/// predicate selectivity around 5%.
+fn make_batches() -> Vec<Vec<ColumnData>> {
+    (0..BATCHES)
+        .map(|b| {
+            let mut k = ColumnData::new(DataType::Int8);
+            let mut v = ColumnData::new(DataType::Float8);
+            let mut s = ColumnData::new(DataType::Varchar);
+            for i in 0..ROWS {
+                let x = (b * ROWS + i) as i64;
+                if x % 16 == 5 {
+                    k.push_null();
+                } else {
+                    k.push_value(&Value::Int8(x % 64)).unwrap();
+                }
+                v.push_value(&Value::Float8((x.wrapping_mul(2_654_435_761) % 1000) as f64))
+                    .unwrap();
+                s.push_value(&Value::Str(format!("tag-{}", x % 100))).unwrap();
+            }
+            vec![k, v, s]
+        })
+        .collect()
+}
+
+/// `k < 32 AND v > 950.0` — kernel-covered, ~5% selective.
+fn predicate() -> BoundExpr {
+    BoundExpr::Binary {
+        left: Box::new(BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column { index: 0, ty: DataType::Int8 }),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Literal(Value::Int8(32))),
+        }),
+        op: BinaryOp::And,
+        right: Box::new(BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column { index: 1, ty: DataType::Float8 }),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::Literal(Value::Float8(950.0))),
+        }),
+    }
+}
+
+/// Shared tail of the pipeline: apply the selection, group by k, sum v.
+fn filter_and_aggregate(batch: &[ColumnData], sel: &[bool], acc: &mut FxHashMap<i64, f64>) {
+    let filtered: Vec<ColumnData> = batch.iter().map(|c| c.filter(sel)).collect();
+    let rows = filtered[0].len();
+    for i in 0..rows {
+        if let (Some(k), Some(v)) = (filtered[0].get_i64(i), filtered[1].get_f64(i)) {
+            *acc.entry(k).or_insert(0.0) += v;
+        }
+    }
+}
+
+fn bench_scan_pipeline(b: &mut Bench, batches: &[Vec<ColumnData>]) {
+    let pred = predicate();
+    // The two paths must agree bit-for-bit before we time anything.
+    for batch in batches {
+        let kernel = eval_predicate(&pred, batch, ROWS).unwrap();
+        let interp = eval_predicate_interp(&pred, batch, ROWS).unwrap();
+        assert_eq!(kernel, interp, "kernel/interp disagreement");
+    }
+
+    let mut g = b.group("scan_pipeline");
+    g.sample_size(10);
+    g.throughput_elems((BATCHES * ROWS) as u64);
+    g.bench_function("kernel", |bch| {
+        bch.iter(|| {
+            let mut acc = FxHashMap::default();
+            for batch in batches {
+                let sel = eval_predicate(&pred, batch, ROWS).unwrap();
+                filter_and_aggregate(batch, &sel, &mut acc);
+            }
+            acc.len()
+        });
+    });
+    g.bench_function("interp", |bch| {
+        bch.iter(|| {
+            let mut acc = FxHashMap::default();
+            for batch in batches {
+                let sel = eval_predicate_interp(&pred, batch, ROWS).unwrap();
+                filter_and_aggregate(batch, &sel, &mut acc);
+            }
+            acc.len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_spawn_vs_pool(b: &mut Bench) {
+    // Per-item work small enough that thread spawn overhead dominates at
+    // high fan-out: ~2us of integer mixing.
+    fn work(i: usize) -> u64 {
+        let mut h = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..600 {
+            h = h.wrapping_mul(0x517c_c1b7_2722_0a95).rotate_left(17);
+        }
+        h
+    }
+
+    let mut g = b.group("spawn_vs_pool");
+    g.sample_size(10);
+    for n in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::new("pool", n), &n, |bch, &n| {
+            bch.iter(|| par::map_indexed(n, work).iter().copied().sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("spawn", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut out = vec![0u64; n];
+                std::thread::scope(|s| {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        s.spawn(move || *slot = work(i));
+                    }
+                });
+                out.iter().copied().sum::<u64>()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The pre-change dictionary build, kept here as the speedup reference:
+/// serialize every row into a fresh `Writer`, key a `HashMap` on the
+/// owned bytes (cloned on every lookup), check overflow after insert.
+/// Same output ordering as the one-pass build, so the ratio measured in
+/// one bench run is apples-to-apples and immune to machine drift.
+fn dict_codes_two_pass_ref(col: &ColumnData) -> (Vec<u8>, Vec<u32>) {
+    use redsim_common::codec::Writer;
+    let mut index_of: std::collections::HashMap<Vec<u8>, u32> = std::collections::HashMap::new();
+    let mut dict_w = Writer::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(col.len());
+    let mut dict_len = 0u32;
+    for i in 0..col.len() {
+        let mut one = Writer::new();
+        write_one_ref(col, i, &mut one);
+        let key = one.into_bytes();
+        let code = *index_of.entry(key.clone()).or_insert_with(|| {
+            dict_w.put_raw(&key);
+            let c = dict_len;
+            dict_len += 1;
+            c
+        });
+        assert!(dict_len <= 65_536);
+        codes.push(code);
+    }
+    (dict_w.into_bytes(), codes)
+}
+
+/// Row serializer matching `storage::encoding::write_one` for the two
+/// column types this bench exercises.
+fn write_one_ref(col: &ColumnData, i: usize, w: &mut redsim_common::codec::Writer) {
+    match col {
+        ColumnData::Int8 { data, .. } => w.put_i64(data[i]),
+        ColumnData::Str { data, .. } => w.put_str(data.get(i)),
+        _ => unreachable!("bench covers Int8 and Str shapes"),
+    }
+}
+
+fn bench_encode(b: &mut Bench) {
+    // The E9 low-cardinality text shape (bytedict's home turf) plus an
+    // integer shape that stresses the hash table with 50k lookups.
+    let regions = ["us-east", "us-west", "eu-central", "ap-south"];
+    let mut lowcard = ColumnData::new(DataType::Varchar);
+    let mut smallint = ColumnData::new(DataType::Int8);
+    for i in 0..50_000usize {
+        lowcard.push_value(&Value::Str(regions[i % 4].into())).unwrap();
+        smallint.push_value(&Value::Int8((i as i64 * 37) % 100)).unwrap();
+    }
+
+    let mut g = b.group("encode");
+    g.sample_size(10);
+    g.throughput_elems(50_000);
+    g.bench_function("bytedict_text_lowcard", |bch| {
+        bch.iter(|| encode_column(&lowcard, Encoding::Dict).unwrap().len());
+    });
+    g.bench_function("bytedict_int_small", |bch| {
+        bch.iter(|| encode_column(&smallint, Encoding::Dict).unwrap().len());
+    });
+    g.bench_function("bytedict_ref_text_lowcard", |bch| {
+        bch.iter(|| dict_codes_two_pass_ref(&lowcard).1.len());
+    });
+    g.bench_function("bytedict_ref_int_small", |bch| {
+        bch.iter(|| dict_codes_two_pass_ref(&smallint).1.len());
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut b = Bench::new("scan_kernels");
+    let batches = make_batches();
+    bench_scan_pipeline(&mut b, &batches);
+    bench_spawn_vs_pool(&mut b);
+    bench_encode(&mut b);
+    let records = b.finish();
+
+    // Print the headline ratios so a bench run documents itself.
+    let p50 = |bench: &str, input: &str| {
+        records
+            .iter()
+            .find(|r| r.bench == bench && r.input == input)
+            .map(|r| r.p50_ns)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nscan_pipeline: interp/kernel p50 ratio = {:.1}x",
+        p50("interp", "") / p50("kernel", "")
+    );
+    for n in ["64", "512", "4096"] {
+        println!(
+            "spawn_vs_pool n={n}: spawn/pool p50 ratio = {:.1}x",
+            p50("spawn", n) / p50("pool", n)
+        );
+    }
+    for shape in ["text_lowcard", "int_small"] {
+        println!(
+            "encode {shape}: two-pass-ref/one-pass p50 ratio = {:.1}x",
+            p50(&format!("bytedict_ref_{shape}"), "")
+                / p50(&format!("bytedict_{shape}"), "")
+        );
+    }
+}

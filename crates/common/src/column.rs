@@ -328,24 +328,104 @@ impl ColumnData {
     }
 
     /// Keep only rows where `sel[i]` is true.
+    ///
+    /// Typed per-variant loops (one match, then a straight copy) rather
+    /// than per-row [`ColumnData::push_from`]: selection is the hottest
+    /// consumer of the kernel path's selection vectors. NULL payload
+    /// slots are re-normalized to the default payload, exactly like
+    /// `push_null`.
     pub fn filter(&self, sel: &[bool]) -> ColumnData {
         assert_eq!(sel.len(), self.len());
-        let mut out = ColumnData::new(self.data_type());
-        for (i, &keep) in sel.iter().enumerate() {
-            if keep {
-                out.push_from(self, i);
+        let kept = sel.iter().filter(|&&k| k).count();
+        macro_rules! fixed {
+            ($variant:ident, $data:expr, $nulls:expr $(, $f:ident : $fv:expr)?) => {{
+                let mut data = Vec::with_capacity(kept);
+                let mut nulls = Bitmap::new();
+                for (i, &keep) in sel.iter().enumerate() {
+                    if keep {
+                        let ok = $nulls.get(i);
+                        data.push(if ok { $data[i] } else { Default::default() });
+                        nulls.push(ok);
+                    }
+                }
+                ColumnData::$variant { data, nulls $(, $f: $fv)? }
+            }};
+        }
+        match self {
+            ColumnData::Bool { data, nulls } => fixed!(Bool, data, nulls),
+            ColumnData::Int2 { data, nulls } => fixed!(Int2, data, nulls),
+            ColumnData::Int4 { data, nulls } => fixed!(Int4, data, nulls),
+            ColumnData::Int8 { data, nulls } => fixed!(Int8, data, nulls),
+            ColumnData::Float8 { data, nulls } => fixed!(Float8, data, nulls),
+            ColumnData::Date { data, nulls } => fixed!(Date, data, nulls),
+            ColumnData::Timestamp { data, nulls } => fixed!(Timestamp, data, nulls),
+            ColumnData::Decimal { data, nulls, scale } => {
+                fixed!(Decimal, data, nulls, scale: *scale)
+            }
+            ColumnData::Str { data, nulls } => {
+                let mut out = StrVec::with_capacity(kept, data.byte_len());
+                let mut out_nulls = Bitmap::new();
+                for (i, &keep) in sel.iter().enumerate() {
+                    if keep {
+                        let ok = nulls.get(i);
+                        if ok {
+                            // Raw arena copy: no per-row UTF-8 revalidation.
+                            let (a, b) =
+                                (data.offsets[i] as usize, data.offsets[i + 1] as usize);
+                            out.bytes.extend_from_slice(&data.bytes[a..b]);
+                        }
+                        out.offsets.push(out.bytes.len() as u32);
+                        out_nulls.push(ok);
+                    }
+                }
+                ColumnData::Str { data: out, nulls: out_nulls }
             }
         }
-        out
     }
 
-    /// Gather rows by index (join materialization).
+    /// Gather rows by index (join materialization). Same typed layout as
+    /// [`ColumnData::filter`]; indices out of range panic, as before.
     pub fn gather(&self, idx: &[u32]) -> ColumnData {
-        let mut out = ColumnData::new(self.data_type());
-        for &i in idx {
-            out.push_from(self, i as usize);
+        macro_rules! fixed {
+            ($variant:ident, $data:expr, $nulls:expr $(, $f:ident : $fv:expr)?) => {{
+                let mut data = Vec::with_capacity(idx.len());
+                let mut nulls = Bitmap::new();
+                for &i in idx {
+                    let i = i as usize;
+                    let ok = $nulls.get(i);
+                    data.push(if ok { $data[i] } else { Default::default() });
+                    nulls.push(ok);
+                }
+                ColumnData::$variant { data, nulls $(, $f: $fv)? }
+            }};
         }
-        out
+        match self {
+            ColumnData::Bool { data, nulls } => fixed!(Bool, data, nulls),
+            ColumnData::Int2 { data, nulls } => fixed!(Int2, data, nulls),
+            ColumnData::Int4 { data, nulls } => fixed!(Int4, data, nulls),
+            ColumnData::Int8 { data, nulls } => fixed!(Int8, data, nulls),
+            ColumnData::Float8 { data, nulls } => fixed!(Float8, data, nulls),
+            ColumnData::Date { data, nulls } => fixed!(Date, data, nulls),
+            ColumnData::Timestamp { data, nulls } => fixed!(Timestamp, data, nulls),
+            ColumnData::Decimal { data, nulls, scale } => {
+                fixed!(Decimal, data, nulls, scale: *scale)
+            }
+            ColumnData::Str { data, nulls } => {
+                let mut out = StrVec::new();
+                let mut out_nulls = Bitmap::new();
+                for &i in idx {
+                    let i = i as usize;
+                    let ok = nulls.get(i);
+                    if ok {
+                        let (a, b) = (data.offsets[i] as usize, data.offsets[i + 1] as usize);
+                        out.bytes.extend_from_slice(&data.bytes[a..b]);
+                    }
+                    out.offsets.push(out.bytes.len() as u32);
+                    out_nulls.push(ok);
+                }
+                ColumnData::Str { data: out, nulls: out_nulls }
+            }
+        }
     }
 
     /// Append row `i` of `src` (same type) without a Value round-trip.

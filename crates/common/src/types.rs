@@ -294,7 +294,11 @@ impl Value {
     }
 }
 
-fn cmp_f64(a: f64, b: f64) -> Ordering {
+/// Float comparison used everywhere SQL order matters: IEEE order over
+/// non-NaN values, NaN equal to itself and greater than everything else.
+/// Public so the vectorized kernels compare bit-identically to
+/// [`Value::cmp_sql`].
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,

@@ -678,8 +678,10 @@ impl Cluster {
             || (mode == SelectMode::Execute && self.config.profile_queries);
         let t_exec = std::time::Instant::now();
         let mut out = {
-            let executor =
-                Executor::new(&fabric).with_trace(&espan).with_profiling(profiling);
+            let executor = Executor::new(&fabric)
+                .with_trace(&espan)
+                .with_profiling(profiling)
+                .with_faults(std::sync::Arc::clone(self.faults()));
             executor.run(&compiled.plan)?
         };
         let exec_ns = t_exec.elapsed().as_nanos() as u64;

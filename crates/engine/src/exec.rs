@@ -13,7 +13,7 @@ use crate::expr::{eval, eval_predicate};
 use crate::hashkey::HKey;
 use redsim_testkit::sync::Mutex;
 use redsim_common::{
-    ColumnData, DataType, FxHashMap, FxHashSet, Result, Row, Value,
+    ColumnData, DataType, FxHashMap, FxHashSet, Result, Row, RsError, Value,
 };
 use redsim_distribution::{style::dist_hash, JoinDistStrategy};
 use redsim_sql::ast::JoinType;
@@ -40,7 +40,7 @@ pub trait TableProvider: Sync {
 
 /// Execution telemetry (surfaced through EXPLAIN-style reports and the
 /// E10/E11 benches).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecMetrics {
     /// Bytes shipped by broadcast exchanges.
     pub bytes_broadcast: u64,
@@ -136,6 +136,9 @@ pub struct Executor<'a> {
     profile: Option<Mutex<Vec<StepProfile>>>,
     /// Parent span for per-slice detail spans (`RSIM_TRACE=2`).
     trace: Option<&'a redsim_obs::Span>,
+    /// Failpoint registry consulted at the per-slice scan seam
+    /// (`exec.scan_slice`); `None` skips the check entirely.
+    faults: Option<std::sync::Arc<redsim_faultkit::FaultRegistry>>,
 }
 
 impl<'a> Executor<'a> {
@@ -145,6 +148,7 @@ impl<'a> Executor<'a> {
             metrics: Mutex::new(ExecMetrics::default()),
             profile: None,
             trace: None,
+            faults: None,
         }
     }
 
@@ -160,6 +164,20 @@ impl<'a> Executor<'a> {
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profile = if on { Some(Mutex::new(Vec::new())) } else { None };
         self
+    }
+
+    /// Consult `registry` at the `exec.scan_slice` seam. The cluster
+    /// passes its shared registry so chaos configs reach the executor.
+    pub fn with_faults(mut self, registry: std::sync::Arc<redsim_faultkit::FaultRegistry>) -> Self {
+        self.faults = Some(registry);
+        self
+    }
+
+    /// Snapshot of the executor-wide metrics accumulated so far. Lets
+    /// tests assert what a *failed* run left behind (a successful run
+    /// reports through [`QueryOutput::metrics`] instead).
+    pub fn metrics_snapshot(&self) -> ExecMetrics {
+        self.metrics.lock().clone()
     }
 
     /// Run a plan to completion, materializing rows at the leader.
@@ -297,6 +315,22 @@ impl<'a> Executor<'a> {
         let n = self.provider.num_slices();
         let results: Vec<Result<(Vec<Batch>, ExecMetrics)>> =
             parallel_map(n, |slice| {
+                if let Some(faults) = &self.faults {
+                    use redsim_faultkit::{fp, Outcome};
+                    match faults.fire(fp::EXEC_SCAN_SLICE) {
+                        Outcome::Proceed => {}
+                        Outcome::Err(class) => {
+                            return Err(RsError::FaultInjected(format!(
+                                "injected {} at {} (slice {slice})",
+                                class.as_str(),
+                                fp::EXEC_SCAN_SLICE,
+                            )))
+                        }
+                        // A dropped scan fragment yields an empty slice:
+                        // lost-work semantics, not an error.
+                        Outcome::Drop => return Ok((Vec::new(), ExecMetrics::default())),
+                    }
+                }
                 let mut span = match self.trace {
                     Some(parent) => parent.child(redsim_obs::LVL_DETAIL, "exec.slice"),
                     None => redsim_obs::Span::disabled(),
@@ -333,12 +367,24 @@ impl<'a> Executor<'a> {
                 }
                 Ok((batches, m))
             });
+        // Unwrap every slice result BEFORE absorbing any metrics: a scan
+        // that fails on slice k must not pollute svl_query_metrics /
+        // stl_query with partial rows/bytes from slices 0..k. The `?`
+        // below therefore runs to completion (or propagates the first
+        // error with the shared counters untouched) before the absorb
+        // loop starts.
         let mut per_slice = Vec::with_capacity(n);
+        let mut slice_metrics = Vec::with_capacity(n);
         for r in results {
             let (batches, m) = r?;
-            self.metrics.lock().absorb(&m);
+            slice_metrics.push(m);
             per_slice.push(batches);
         }
+        let mut metrics = self.metrics.lock();
+        for m in &slice_metrics {
+            metrics.absorb(m);
+        }
+        drop(metrics);
         Ok(DataSet::Slices(per_slice))
     }
 
@@ -735,7 +781,29 @@ impl AggState {
                 }
                 Ok(())
             }
-            // Decimal sums, min/max and sketches keep the general path.
+            (AggState::MinMax { best, is_min }, Some(c)) => {
+                // Compare the slot against the running best in place;
+                // materialize a `Value` only when it improves (strings
+                // stop allocating once the extremum stabilizes).
+                if !c.is_null(i) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let o = crate::kernels::cmp_slot_value(c, i, b);
+                            if *is_min {
+                                o == std::cmp::Ordering::Less
+                            } else {
+                                o == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(c.get(i));
+                    }
+                }
+                Ok(())
+            }
+            // Decimal sums and sketches keep the general path.
             (_, col) => {
                 let v = col.map(|c| c.get(i));
                 self.update(spec, v.as_ref())

@@ -224,8 +224,25 @@ pub fn eval(expr: &BoundExpr, batch: &[ColumnData], rows: usize) -> Result<Colum
 }
 
 /// Evaluate a boolean predicate, mapping NULL to `false` (SQL WHERE
-/// semantics: only TRUE passes).
+/// semantics: only TRUE passes). Dispatches to the columnar kernels
+/// ([`crate::kernels`]) when the expression is covered; otherwise falls
+/// back to the `Value`-boxed interpreter below. The `vector_*` property
+/// suite pins both paths to bit-identical selection vectors.
 pub fn eval_predicate(expr: &BoundExpr, batch: &[ColumnData], rows: usize) -> Result<Vec<bool>> {
+    if let Some(sel) = crate::kernels::try_eval_predicate(expr, batch, rows) {
+        return Ok(sel);
+    }
+    eval_predicate_interp(expr, batch, rows)
+}
+
+/// The interpreter path of [`eval_predicate`]: materialize the ternary
+/// boolean column, then collapse it to a selection vector. Public so
+/// kernel coverage can be differentially fuzzed against it.
+pub fn eval_predicate_interp(
+    expr: &BoundExpr,
+    batch: &[ColumnData],
+    rows: usize,
+) -> Result<Vec<bool>> {
     let col = eval(expr, batch, rows)?;
     let mut out = Vec::with_capacity(col.len());
     for i in 0..col.len() {
@@ -356,7 +373,7 @@ fn int_family(t: DataType) -> bool {
     t.is_integer() || matches!(t, DataType::Date | DataType::Timestamp | DataType::Bool)
 }
 
-fn cmp_holds(ord: std::cmp::Ordering, op: BinaryOp) -> bool {
+pub(crate) fn cmp_holds(ord: std::cmp::Ordering, op: BinaryOp) -> bool {
     use std::cmp::Ordering::*;
     match op {
         BinaryOp::Eq => ord == Equal,

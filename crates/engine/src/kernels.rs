@@ -1,0 +1,701 @@
+//! Columnar predicate kernels.
+//!
+//! [`try_eval_predicate`] evaluates a WHERE/filter tree directly over
+//! typed `ColumnData` slices, producing the selection vector
+//! (`Vec<bool>`, one slot per row) without materializing a `Value` — or
+//! an intermediate boolean column — per row. Expressions the kernels
+//! don't cover return `None` and the caller falls back to the
+//! interpreter path ([`crate::expr::eval_predicate_interp`]); the
+//! `vector_*` property suite fuzzes both paths for bit-identical
+//! results.
+//!
+//! ## Dispatch rules
+//!
+//! A comparison leaf is kernelized when both operands are plain column
+//! references or literals and their types land in one of three lanes,
+//! mirroring `Value::cmp_sql`'s arms exactly:
+//!
+//! * **i64 lane** — both sides integer-family (INT2/4/8, DATE,
+//!   TIMESTAMP, BOOL): compare widened `i64`s, like the interpreter's
+//!   integer fast path.
+//! * **f64 lane** — at least one side FLOAT8 or DECIMAL and the other
+//!   numeric/bool: compare via [`cmp_f64`] (NaN equals itself and sorts
+//!   greatest), matching `cmp_sql`'s mixed-numeric arm — including its
+//!   deliberate use of `f64` for DECIMAL-vs-DECIMAL.
+//! * **str lane** — both sides VARCHAR: byte-wise `str` ordering over
+//!   the `StrVec` arena, no per-row allocation.
+//!
+//! Everything else (arithmetic operands, CASE, casts, mixed
+//! string/number comparisons) falls back.
+//!
+//! ## NULL handling: the negation flag
+//!
+//! SQL WHERE keeps a row iff the predicate's *ternary* value is TRUE.
+//! Kernels never build the ternary column; instead every node is
+//! evaluated against a target via a negation flag:
+//! `K(e, neg) = (ternary(e) == if neg { FALSE } else { TRUE })`.
+//! `NOT e` recurses with the flag flipped; under Kleene logic
+//! `AND` is FALSE iff either side is FALSE, so
+//! `K(a AND b, true) = K(a, true) OR K(b, true)` (and dually for OR) —
+//! plain `bool` combination stays exact. At a comparison leaf a flipped
+//! flag inverts the operator (`<` ↔ `>=` …), because a non-NULL
+//! comparison is FALSE exactly when the inverse operator holds, and a
+//! NULL comparison matches neither target.
+
+use crate::expr::{cmp_holds, LikeMatcher};
+use redsim_common::types::cmp_f64;
+use redsim_common::{ColumnData, DataType, Value};
+use redsim_sql::ast::{BinaryOp, UnaryOp};
+use redsim_sql::plan::BoundExpr;
+
+/// Evaluate a predicate into a selection vector, or `None` when the
+/// expression (or its operand types) isn't covered by a kernel.
+pub fn try_eval_predicate(
+    expr: &BoundExpr,
+    batch: &[ColumnData],
+    rows: usize,
+) -> Option<Vec<bool>> {
+    eval_pred(expr, batch, rows, false)
+}
+
+fn eval_pred(expr: &BoundExpr, batch: &[ColumnData], rows: usize, neg: bool) -> Option<Vec<bool>> {
+    match expr {
+        // A bare boolean column used as a predicate (`WHERE active`).
+        BoundExpr::Column { .. } => {
+            let Operand::Col(ColumnData::Bool { data, nulls }) = operand(expr, batch, rows)?
+            else {
+                return None;
+            };
+            Some((0..rows).map(|i| nulls.get(i) && (data[i] != neg)).collect())
+        }
+        BoundExpr::Literal(v) => match v {
+            // ternary(b) == target ⇔ b != neg; NULL matches no target.
+            Value::Bool(b) => Some(vec![*b != neg; rows]),
+            Value::Null => Some(vec![false; rows]),
+            _ => None,
+        },
+        BoundExpr::Unary { op: UnaryOp::Not, expr } => eval_pred(expr, batch, rows, !neg),
+        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+            let a = eval_pred(left, batch, rows, neg)?;
+            let b = eval_pred(right, batch, rows, neg)?;
+            Some(combine(a, &b, /* any = */ neg))
+        }
+        BoundExpr::Binary { left, op: BinaryOp::Or, right } => {
+            let a = eval_pred(left, batch, rows, neg)?;
+            let b = eval_pred(right, batch, rows, neg)?;
+            Some(combine(a, &b, /* any = */ !neg))
+        }
+        BoundExpr::Binary { left, op, right } if is_comparison(*op) => {
+            cmp_kernel(left, *op, right, batch, rows, neg)
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let sel = match operand(expr, batch, rows)? {
+                Operand::Col(c) => {
+                    (0..rows).map(|i| (c.is_null(i) != *negated) != neg).collect()
+                }
+                Operand::Lit(v) => vec![(v.is_null() != *negated) != neg; rows],
+            };
+            Some(sel)
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            in_list_kernel(expr, list, *negated, batch, rows, neg)
+        }
+        BoundExpr::Like { expr, pattern, negated } => {
+            let Operand::Col(c) = operand(expr, batch, rows)? else { return None };
+            let ColumnData::Str { data, nulls } = c else { return None };
+            let matcher = LikeMatcher::new(pattern);
+            Some(
+                (0..rows)
+                    .map(|i| {
+                        nulls.get(i) && ((matcher.matches(data.get(i)) != *negated) != neg)
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+/// Fold `b` into `a`: `any = false` keeps rows where both are set
+/// (AND-lane), `any = true` where either is (OR-lane).
+fn combine(mut a: Vec<bool>, b: &[bool], any: bool) -> Vec<bool> {
+    if any {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x |= y;
+        }
+    } else {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x &= y;
+        }
+    }
+    a
+}
+
+fn is_comparison(op: BinaryOp) -> bool {
+    matches!(
+        op,
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+    )
+}
+
+/// `!cmp_holds(ord, op) == cmp_holds(ord, invert(op))` for non-NULL
+/// comparisons, so a negated leaf just runs the inverse operator.
+fn invert(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Eq => BinaryOp::NotEq,
+        BinaryOp::NotEq => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::GtEq,
+        BinaryOp::GtEq => BinaryOp::Lt,
+        BinaryOp::Gt => BinaryOp::LtEq,
+        BinaryOp::LtEq => BinaryOp::Gt,
+        other => other,
+    }
+}
+
+enum Operand<'a> {
+    Col(&'a ColumnData),
+    Lit(&'a Value),
+}
+
+fn operand<'a>(e: &'a BoundExpr, batch: &'a [ColumnData], rows: usize) -> Option<Operand<'a>> {
+    match e {
+        BoundExpr::Column { index, .. } => {
+            let c = batch.get(*index)?;
+            // A ragged batch means something upstream is wrong; let the
+            // interpreter produce its error instead of miscomputing.
+            (c.len() == rows).then_some(Operand::Col(c))
+        }
+        BoundExpr::Literal(v) => Some(Operand::Lit(v)),
+        _ => None,
+    }
+}
+
+/// Type lane of an operand, `None` when it has no kernel lane.
+#[derive(Clone, Copy, PartialEq)]
+enum Lane {
+    Int,
+    Float,
+    Dec,
+    Str,
+}
+
+fn lane(o: &Operand) -> Option<Lane> {
+    let ty = match o {
+        Operand::Col(c) => c.data_type(),
+        Operand::Lit(v) => v.data_type()?,
+    };
+    Some(match ty {
+        DataType::Bool
+        | DataType::Int2
+        | DataType::Int4
+        | DataType::Int8
+        | DataType::Date
+        | DataType::Timestamp => Lane::Int,
+        DataType::Float8 => Lane::Float,
+        DataType::Decimal(_, _) => Lane::Dec,
+        DataType::Varchar => Lane::Str,
+    })
+}
+
+fn cmp_kernel(
+    l: &BoundExpr,
+    op: BinaryOp,
+    r: &BoundExpr,
+    batch: &[ColumnData],
+    rows: usize,
+    neg: bool,
+) -> Option<Vec<bool>> {
+    let lo = operand(l, batch, rows)?;
+    let ro = operand(r, batch, rows)?;
+    // A NULL literal on either side makes every row's comparison NULL,
+    // which matches neither the TRUE nor the FALSE target.
+    if matches!(lo, Operand::Lit(Value::Null)) || matches!(ro, Operand::Lit(Value::Null)) {
+        return Some(vec![false; rows]);
+    }
+    let op = if neg { invert(op) } else { op };
+    match (lane(&lo)?, lane(&ro)?) {
+        (Lane::Int, Lane::Int) => Some(cmp_i64(&lo, &ro, op, rows)),
+        (Lane::Str, Lane::Str) => cmp_str(&lo, &ro, op, rows),
+        // Any float/decimal side drags the comparison onto cmp_sql's
+        // mixed-numeric f64 arm (decimal-vs-decimal included).
+        (a, b)
+            if (a == Lane::Float || a == Lane::Dec || b == Lane::Float || b == Lane::Dec)
+                && a != Lane::Str
+                && b != Lane::Str =>
+        {
+            Some(cmp_f64_lane(&lo, &ro, op, rows))
+        }
+        _ => None,
+    }
+}
+
+/// Monomorphized compare loop: `acc` closures yield `None` for NULL.
+#[inline]
+fn cmp_loop<T, L, R, C>(rows: usize, l: L, r: R, cmp: C, op: BinaryOp) -> Vec<bool>
+where
+    L: Fn(usize) -> Option<T>,
+    R: Fn(usize) -> Option<T>,
+    C: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        out.push(match (l(i), r(i)) {
+            (Some(a), Some(b)) => cmp_holds(cmp(&a, &b), op),
+            _ => false,
+        });
+    }
+    out
+}
+
+fn cmp_i64(lo: &Operand, ro: &Operand, op: BinaryOp, rows: usize) -> Vec<bool> {
+    let ord = |a: &i64, b: &i64| a.cmp(b);
+    match (lo, ro) {
+        (Operand::Col(lc), Operand::Col(rc)) => {
+            cmp_loop(rows, |i| lc.get_i64(i), |i| rc.get_i64(i), ord, op)
+        }
+        (Operand::Col(lc), Operand::Lit(v)) => {
+            let b = v.as_i64();
+            // Direct-slice arms for the hottest shapes (col ⋈ constant).
+            match lc {
+                ColumnData::Int8 { data, nulls } | ColumnData::Timestamp { data, nulls } => {
+                    let b = b.expect("int lane literal");
+                    return data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| nulls.get(i) && cmp_holds(x.cmp(&b), op))
+                        .collect();
+                }
+                ColumnData::Int4 { data, nulls } | ColumnData::Date { data, nulls } => {
+                    let b = b.expect("int lane literal");
+                    return data
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| nulls.get(i) && cmp_holds((x as i64).cmp(&b), op))
+                        .collect();
+                }
+                _ => {}
+            }
+            cmp_loop(rows, |i| lc.get_i64(i), |_| b, ord, op)
+        }
+        (Operand::Lit(v), Operand::Col(rc)) => {
+            let a = v.as_i64();
+            cmp_loop(rows, |_| a, |i| rc.get_i64(i), ord, op)
+        }
+        (Operand::Lit(a), Operand::Lit(b)) => {
+            let hold = match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => cmp_holds(x.cmp(&y), op),
+                _ => false,
+            };
+            vec![hold; rows]
+        }
+    }
+}
+
+fn cmp_f64_lane(lo: &Operand, ro: &Operand, op: BinaryOp, rows: usize) -> Vec<bool> {
+    let ord = |a: &f64, b: &f64| cmp_f64(*a, *b);
+    match (lo, ro) {
+        (Operand::Col(lc), Operand::Col(rc)) => {
+            cmp_loop(rows, |i| lc.get_f64(i), |i| rc.get_f64(i), ord, op)
+        }
+        (Operand::Col(lc), Operand::Lit(v)) => {
+            let b = v.as_f64();
+            if let ColumnData::Float8 { data, nulls } = lc {
+                let b = b.expect("f64 lane literal");
+                return data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| nulls.get(i) && cmp_holds(cmp_f64(x, b), op))
+                    .collect();
+            }
+            cmp_loop(rows, |i| lc.get_f64(i), |_| b, ord, op)
+        }
+        (Operand::Lit(v), Operand::Col(rc)) => {
+            let a = v.as_f64();
+            cmp_loop(rows, |_| a, |i| rc.get_f64(i), ord, op)
+        }
+        (Operand::Lit(a), Operand::Lit(b)) => {
+            let hold = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => cmp_holds(cmp_f64(x, y), op),
+                _ => false,
+            };
+            vec![hold; rows]
+        }
+    }
+}
+
+fn cmp_str(lo: &Operand, ro: &Operand, op: BinaryOp, rows: usize) -> Option<Vec<bool>> {
+    Some(match (lo, ro) {
+        (Operand::Col(ColumnData::Str { data: ld, nulls: ln }), Operand::Col(ColumnData::Str { data: rd, nulls: rn })) => (0..rows)
+            .map(|i| ln.get(i) && rn.get(i) && cmp_holds(ld.get(i).cmp(rd.get(i)), op))
+            .collect(),
+        (Operand::Col(ColumnData::Str { data, nulls }), Operand::Lit(Value::Str(s))) => (0..rows)
+            .map(|i| nulls.get(i) && cmp_holds(data.get(i).cmp(s.as_str()), op))
+            .collect(),
+        (Operand::Lit(Value::Str(s)), Operand::Col(ColumnData::Str { data, nulls })) => (0..rows)
+            .map(|i| nulls.get(i) && cmp_holds(s.as_str().cmp(data.get(i)), op))
+            .collect(),
+        (Operand::Lit(Value::Str(a)), Operand::Lit(Value::Str(b))) => {
+            vec![cmp_holds(a.cmp(b), op); rows]
+        }
+        _ => return None,
+    })
+}
+
+fn in_list_kernel(
+    expr: &BoundExpr,
+    list: &[Value],
+    negated: bool,
+    batch: &[ColumnData],
+    rows: usize,
+    neg: bool,
+) -> Option<Vec<bool>> {
+    let Operand::Col(c) = operand(expr, batch, rows)? else { return None };
+    // Non-NULL rows always produce a definite bool; found != negated,
+    // then compared against the negation target.
+    let keep = |found: bool| (found != negated) != neg;
+    match lane(&Operand::Col(c))? {
+        Lane::Int => {
+            // eq_sql(int, int) is i64 equality; any non-integer item
+            // (float/decimal/str) drops to cmp_sql's mixed arms, so bail.
+            let mut items: Vec<i64> = Vec::with_capacity(list.len());
+            for v in list {
+                if v.is_null() {
+                    continue; // NULL items never equal anything
+                }
+                if !matches!(
+                    v,
+                    Value::Bool(_)
+                        | Value::Int2(_)
+                        | Value::Int4(_)
+                        | Value::Int8(_)
+                        | Value::Date(_)
+                        | Value::Timestamp(_)
+                ) {
+                    return None;
+                }
+                items.push(v.as_i64().expect("integer family"));
+            }
+            Some(
+                (0..rows)
+                    .map(|i| match c.get_i64(i) {
+                        Some(a) => keep(items.contains(&a)),
+                        None => false,
+                    })
+                    .collect(),
+            )
+        }
+        Lane::Float | Lane::Dec => {
+            // eq_sql drops to the mixed-numeric arm: cmp_f64 equality
+            // (NaN IN (NaN) is true, matching HKey::Float semantics).
+            let mut items: Vec<f64> = Vec::with_capacity(list.len());
+            for v in list {
+                if v.is_null() {
+                    continue;
+                }
+                items.push(v.as_f64()?); // non-numeric item: bail
+            }
+            Some(
+                (0..rows)
+                    .map(|i| match c.get_f64(i) {
+                        Some(a) => keep(items.iter().any(|&b| {
+                            cmp_f64(a, b) == std::cmp::Ordering::Equal
+                        })),
+                        None => false,
+                    })
+                    .collect(),
+            )
+        }
+        Lane::Str => {
+            let ColumnData::Str { data, nulls } = c else { return None };
+            let mut items: Vec<&str> = Vec::with_capacity(list.len());
+            for v in list {
+                if v.is_null() {
+                    continue;
+                }
+                let Value::Str(s) = v else { return None };
+                items.push(s);
+            }
+            Some(
+                (0..rows)
+                    .map(|i| {
+                        if nulls.get(i) {
+                            keep(items.contains(&data.get(i)))
+                        } else {
+                            false
+                        }
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Compare column slot `i` (non-NULL) against a non-NULL scalar with
+/// `cmp_sql` semantics, without materializing the slot as a `Value`.
+/// Used by the MIN/MAX fast path: the slot is only boxed when it
+/// actually improves the running best.
+pub(crate) fn cmp_slot_value(c: &ColumnData, i: usize, v: &Value) -> std::cmp::Ordering {
+    debug_assert!(!c.is_null(i) && !v.is_null());
+    match (c, v) {
+        (ColumnData::Str { data, .. }, Value::Str(s)) => data.get(i).cmp(s),
+        (ColumnData::Float8 { data, .. }, Value::Float8(b)) => cmp_f64(data[i], *b),
+        _ => {
+            // Integer-family fast path when both sides widen to i64 and
+            // neither is float/decimal (cmp_sql's final arm).
+            let col_int = c.get_i64(i);
+            let val_int = v.as_i64();
+            let col_is_num = matches!(c, ColumnData::Float8 { .. } | ColumnData::Decimal { .. });
+            let val_is_num = matches!(v, Value::Float8(_) | Value::Decimal { .. });
+            match (col_int, val_int) {
+                (Some(a), Some(b)) if !col_is_num && !val_is_num => a.cmp(&b),
+                _ => c.get(i).cmp_sql(v),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::eval_predicate_interp;
+
+    fn int8(vals: &[Option<i64>]) -> ColumnData {
+        let mut c = ColumnData::new(DataType::Int8);
+        for v in vals {
+            match v {
+                Some(x) => c.push_value(&Value::Int8(*x)).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    fn f64col(vals: &[Option<f64>]) -> ColumnData {
+        let mut c = ColumnData::new(DataType::Float8);
+        for v in vals {
+            match v {
+                Some(x) => c.push_value(&Value::Float8(*x)).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    fn strcol(vals: &[Option<&str>]) -> ColumnData {
+        let mut c = ColumnData::new(DataType::Varchar);
+        for v in vals {
+            match v {
+                Some(s) => c.push_value(&Value::Str(s.to_string())).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    fn col(i: usize, ty: DataType) -> Box<BoundExpr> {
+        Box::new(BoundExpr::Column { index: i, ty })
+    }
+
+    fn lit(v: Value) -> Box<BoundExpr> {
+        Box::new(BoundExpr::Literal(v))
+    }
+
+    fn agree(expr: &BoundExpr, batch: &[ColumnData], rows: usize) -> Vec<bool> {
+        let kernel = try_eval_predicate(expr, batch, rows).expect("kernel covers");
+        let interp = eval_predicate_interp(expr, batch, rows).expect("interp evals");
+        assert_eq!(kernel, interp, "kernel vs interpreter mismatch: {expr:?}");
+        kernel
+    }
+
+    #[test]
+    fn int_compare_with_nulls() {
+        let batch = vec![int8(&[Some(1), Some(5), None, Some(-3)])];
+        let e = BoundExpr::Binary { left: col(0, DataType::Int8), op: BinaryOp::Lt, right: lit(Value::Int8(2)) };
+        assert_eq!(agree(&e, &batch, 4), vec![true, false, false, true]);
+        let e = BoundExpr::Unary { op: UnaryOp::Not, expr: col(0, DataType::Int8).into() };
+        // NOT over a non-bool is an interpreter error, kernel must bail too.
+        assert!(try_eval_predicate(&e, &batch, 4).is_none());
+    }
+
+    #[test]
+    fn not_flips_without_resurrecting_nulls() {
+        let batch = vec![int8(&[Some(1), Some(5), None])];
+        let cmp = BoundExpr::Binary { left: col(0, DataType::Int8), op: BinaryOp::Lt, right: lit(Value::Int8(3)) };
+        let e = BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(cmp) };
+        // NOT(NULL < 3) is NULL → excluded, same as the positive form.
+        assert_eq!(agree(&e, &batch, 3), vec![false, true, false]);
+    }
+
+    #[test]
+    fn and_or_de_morgan_under_not() {
+        let batch = vec![int8(&[Some(1), Some(5), None, Some(9)])];
+        let a = BoundExpr::Binary { left: col(0, DataType::Int8), op: BinaryOp::Gt, right: lit(Value::Int8(2)) };
+        let b = BoundExpr::Binary { left: col(0, DataType::Int8), op: BinaryOp::Lt, right: lit(Value::Int8(7)) };
+        let and = BoundExpr::Binary { left: Box::new(a), op: BinaryOp::And, right: Box::new(b) };
+        let not_and = BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(and.clone()) };
+        agree(&and, &batch, 4);
+        agree(&not_and, &batch, 4);
+    }
+
+    #[test]
+    fn float_nan_compares_like_interpreter() {
+        let batch = vec![f64col(&[Some(1.5), Some(f64::NAN), None, Some(-0.0)])];
+        for op in [BinaryOp::Eq, BinaryOp::Lt, BinaryOp::GtEq, BinaryOp::NotEq] {
+            let e = BoundExpr::Binary {
+                left: col(0, DataType::Float8),
+                op,
+                right: lit(Value::Float8(f64::NAN)),
+            };
+            agree(&e, &batch, 4);
+            let e = BoundExpr::Binary {
+                left: col(0, DataType::Float8),
+                op,
+                right: lit(Value::Float8(0.0)),
+            };
+            agree(&e, &batch, 4);
+        }
+    }
+
+    #[test]
+    fn str_compare_and_like() {
+        let batch = vec![strcol(&[Some("apple"), Some("pear"), None, Some("")])];
+        let e = BoundExpr::Binary {
+            left: col(0, DataType::Varchar),
+            op: BinaryOp::GtEq,
+            right: lit(Value::Str("b".into())),
+        };
+        assert_eq!(agree(&e, &batch, 4), vec![false, true, false, false]);
+        let e = BoundExpr::Like {
+            expr: col(0, DataType::Varchar),
+            pattern: "%p%".into(),
+            negated: true,
+        };
+        agree(&e, &batch, 4);
+    }
+
+    #[test]
+    fn in_list_lanes() {
+        let ints = vec![int8(&[Some(1), Some(5), None])];
+        let e = BoundExpr::InList {
+            expr: col(0, DataType::Int8),
+            list: vec![Value::Int8(1), Value::Null, Value::Int8(9)],
+            negated: false,
+        };
+        assert_eq!(agree(&e, &ints, 3), vec![true, false, false]);
+        let e = BoundExpr::InList {
+            expr: col(0, DataType::Int8),
+            list: vec![Value::Int8(1)],
+            negated: true,
+        };
+        assert_eq!(agree(&e, &ints, 3), vec![false, true, false]);
+        let strs = vec![strcol(&[Some("eu"), Some("ap"), None])];
+        let e = BoundExpr::InList {
+            expr: col(0, DataType::Varchar),
+            list: vec![Value::Str("eu".into()), Value::Str("us".into())],
+            negated: false,
+        };
+        assert_eq!(agree(&e, &strs, 3), vec![true, false, false]);
+        // Mixed-type list bails to the interpreter.
+        let e = BoundExpr::InList {
+            expr: col(0, DataType::Int8),
+            list: vec![Value::Str("1".into())],
+            negated: false,
+        };
+        assert!(try_eval_predicate(&e, &ints, 3).is_none());
+    }
+
+    #[test]
+    fn is_null_against_target() {
+        let batch = vec![int8(&[Some(1), None])];
+        let e = BoundExpr::IsNull { expr: col(0, DataType::Int8), negated: false };
+        assert_eq!(agree(&e, &batch, 2), vec![false, true]);
+        let e = BoundExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(BoundExpr::IsNull { expr: col(0, DataType::Int8), negated: true }),
+        };
+        assert_eq!(agree(&e, &batch, 2), vec![false, true]);
+    }
+
+    #[test]
+    fn uncovered_expressions_bail() {
+        let batch = vec![int8(&[Some(1)])];
+        // Arithmetic operand → fallback.
+        let sum = BoundExpr::Binary {
+            left: col(0, DataType::Int8),
+            op: BinaryOp::Add,
+            right: lit(Value::Int8(1)),
+        };
+        let e = BoundExpr::Binary { left: Box::new(sum), op: BinaryOp::Lt, right: lit(Value::Int8(5)) };
+        assert!(try_eval_predicate(&e, &batch, 1).is_none());
+        // Missing column index → fallback (interpreter reports the error).
+        let e = BoundExpr::Binary { left: col(7, DataType::Int8), op: BinaryOp::Lt, right: lit(Value::Int8(5)) };
+        assert!(try_eval_predicate(&e, &batch, 1).is_none());
+    }
+
+    #[test]
+    fn decimal_compares_via_f64_like_cmp_sql() {
+        let mut d = ColumnData::new(DataType::Decimal(10, 2));
+        for units in [Some(150i128), Some(-25), None] {
+            match units {
+                Some(u) => d.push_value(&Value::Decimal { units: u, scale: 2 }).unwrap(),
+                None => d.push_null(),
+            }
+        }
+        let batch = vec![d];
+        let e = BoundExpr::Binary {
+            left: col(0, DataType::Decimal(10, 2)),
+            op: BinaryOp::Gt,
+            right: lit(Value::Decimal { units: 0, scale: 2 }),
+        };
+        assert_eq!(agree(&e, &batch, 3), vec![true, false, false]);
+        let e = BoundExpr::Binary {
+            left: col(0, DataType::Decimal(10, 2)),
+            op: BinaryOp::Lt,
+            right: lit(Value::Int8(1)),
+        };
+        agree(&e, &batch, 3);
+    }
+
+    #[test]
+    fn null_literal_comparison_selects_nothing() {
+        let batch = vec![int8(&[Some(1), None])];
+        for negated in [false, true] {
+            let mut e = BoundExpr::Binary {
+                left: col(0, DataType::Int8),
+                op: BinaryOp::Eq,
+                right: lit(Value::Null),
+            };
+            if negated {
+                e = BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(e) };
+            }
+            assert_eq!(agree(&e, &batch, 2), vec![false, false]);
+        }
+    }
+
+    #[test]
+    fn cmp_slot_value_matches_cmp_sql() {
+        let cols = [
+            int8(&[Some(5), Some(-1)]),
+            f64col(&[Some(f64::NAN), Some(2.5)]),
+            strcol(&[Some("abc"), Some("")]),
+        ];
+        let probes = [
+            Value::Int8(3),
+            Value::Float8(f64::NAN),
+            Value::Float8(1.0),
+            Value::Str("abc".into()),
+        ];
+        for c in &cols {
+            for i in 0..c.len() {
+                for v in &probes {
+                    assert_eq!(
+                        cmp_slot_value(c, i, v),
+                        c.get(i).cmp_sql(v),
+                        "col {:?} slot {i} vs {v:?}",
+                        c.data_type()
+                    );
+                }
+            }
+        }
+    }
+}

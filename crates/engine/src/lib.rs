@@ -8,6 +8,10 @@
 //! > etc., in parallel."
 //!
 //! * [`expr`] — vectorized (batch-at-a-time) expression evaluation.
+//! * [`kernels`] — typed columnar predicate kernels (selection vectors
+//!   straight off `ColumnData` slices, no `Value` boxing); `expr` is the
+//!   fallback for uncovered expressions and the differential-fuzz
+//!   reference.
 //! * [`interp`] — a deliberately row-at-a-time, `Value`-boxed interpreter:
 //!   the non-compiled comparator for the paper's claim that query
 //!   compilation's "fixed overhead per query … is generally amortized by
@@ -27,6 +31,7 @@ pub mod exec;
 pub mod expr;
 pub mod hashkey;
 pub mod interp;
+pub mod kernels;
 
 pub use compile::{CompiledQuery, EvictionPolicy, PlanCache};
 pub use exec::{ExecMetrics, Executor, QueryOutput, TableProvider};

@@ -291,6 +291,42 @@ fn broadcast_bytes_scale_with_slices() {
 }
 
 #[test]
+fn failed_scan_slice_leaves_metrics_untouched() {
+    use redsim_faultkit::{fp, ErrClass, FaultRegistry, FaultSpec};
+    use std::sync::Arc;
+
+    let (l, _) = test_rows();
+    let mut fixture = Fixture::new(4);
+    fixture.add_even("l", &l);
+
+    // Arm the per-slice scan seam once: exactly one of the four slice
+    // fragments errors, the other three scan successfully.
+    let faults = Arc::new(FaultRegistry::new(7));
+    faults.configure(fp::EXEC_SCAN_SLICE, FaultSpec::err(ErrClass::Fault).once());
+    let exec = Executor::new(&fixture).with_faults(Arc::clone(&faults));
+    let err = exec.run(&scan("l")).unwrap_err();
+    assert!(
+        matches!(err, redsim_common::RsError::FaultInjected(_)),
+        "expected injected fault, got {err:?}"
+    );
+    // The three healthy slices returned rows and block counts — none of
+    // that partial work may be absorbed into the shared counters once
+    // any slice fails (it would pollute svl_query_metrics / stl_query).
+    assert_eq!(
+        exec.metrics_snapshot(),
+        redsim_engine::ExecMetrics::default(),
+        "failed scan must leave executor metrics untouched"
+    );
+
+    // Control: the seam is now disarmed (`once`), so the same executor
+    // reruns cleanly and counts exactly this run's rows — nothing held
+    // over from the failed attempt.
+    let out = exec.run(&scan("l")).unwrap();
+    assert_eq!(out.metrics.rows_scanned, l.len() as u64);
+    assert!(out.metrics.blocks_read > 0);
+}
+
+#[test]
 fn redistribution_only_counts_moved_rows() {
     // Rows already on their hash-destination slice are not charged.
     let rows: Vec<(i64, i64)> = (0..200).map(|i| (i, i)).collect();

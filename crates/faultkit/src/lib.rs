@@ -93,6 +93,10 @@ pub mod fp {
     /// Front-door connection teardown between executing a statement and
     /// sending its reply frame (`frontdoor::handle_conn`).
     pub const FRONTDOOR_DISCONNECT: &str = "frontdoor.disconnect";
+    /// Per-slice scan fragment in `Executor::exec_scan`, fired before
+    /// the slice touches storage — exercises partial-scan failure paths
+    /// (a failed slice must not leak partial metrics into stl_query).
+    pub const EXEC_SCAN_SLICE: &str = "exec.scan_slice";
 
     /// All canonical names, for docs/tests/chaos generators.
     pub const ALL: &[&str] = &[
@@ -110,6 +114,7 @@ pub mod fp {
         WAL_COMMIT,
         WAL_TRUNCATE,
         FRONTDOOR_DISCONNECT,
+        EXEC_SCAN_SLICE,
     ];
 }
 

@@ -362,7 +362,112 @@ fn slot_eq(col: &ColumnData, a: usize, b: usize) -> bool {
         ColumnData::Int8 { data, .. } | ColumnData::Timestamp { data, .. } => data[a] == data[b],
         ColumnData::Float8 { data, .. } => data[a].to_bits() == data[b].to_bits(),
         ColumnData::Decimal { data, .. } => data[a] == data[b],
-        ColumnData::Str { data, .. } => data.get(a) == data.get(b),
+        ColumnData::Str { data, .. } => {
+            // Strict raw-byte comparison: indexes the offset table
+            // directly so an out-of-range index panics like every other
+            // arm (instead of any lenient "absent == absent" outcome
+            // silently fusing RLE runs), and skips per-slot UTF-8
+            // revalidation on this hot loop.
+            let (off, bytes) = data.raw_parts();
+            let ra = off[a] as usize..off[a + 1] as usize;
+            let rb = off[b] as usize..off[b + 1] as usize;
+            bytes[ra] == bytes[rb]
+        }
+    }
+}
+
+/// FxHasher's word mix, inlined over a byte slice (no trait dispatch,
+/// no length-prefix round); length folded in last so zero-padding can't
+/// alias two strings of different lengths.
+#[inline]
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    // Single-word fast path for short strings (the common dictionary
+    // case): one load, two mixes, no chunk iterator.
+    if bytes.len() <= 8 {
+        let mut buf = [0u8; 8];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        let h = u64::from_le_bytes(buf).wrapping_mul(SEED);
+        return (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(SEED);
+    }
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(SEED);
+    }
+    (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(SEED)
+}
+
+/// Open-addressing (linear probe) map from slot content to dictionary
+/// code, keyed by per-variant typed hashes (`mix64` on the raw payload
+/// word, `hash_bytes` on string arena bytes — consistent with
+/// [`slot_eq`]: slot-equal implies hash-equal, floats by bit pattern)
+/// and verified against the first-occurrence row — no owned key bytes,
+/// no per-row allocation.
+struct SlotDict {
+    /// `(hash, first_row, code)`; `first_row == u32::MAX` marks a free
+    /// slot (row indices are block-relative, far below that).
+    slots: Vec<(u64, u32, u32)>,
+    len: usize,
+}
+
+const DICT_FREE: u32 = u32::MAX;
+
+impl SlotDict {
+    /// Pre-size from the row count, capped at 2048 slots (32 KiB) so a
+    /// low-cardinality column never pays for zeroing a table it won't
+    /// fill; high-cardinality builds reach the 131072-slot ceiling (the
+    /// dictionary caps at 65536 entries, and 65536 * 10 / 7 < 131072)
+    /// in two 8x grows instead of a cascade of doublings.
+    fn with_capacity(rows: usize) -> Self {
+        let want = rows.min(65_536) * 10 / 7 + 1;
+        let slots = want.next_power_of_two().clamp(1024, 2_048);
+        SlotDict { slots: vec![(0, DICT_FREE, 0); slots], len: 0 }
+    }
+
+    /// Find the probe slot for `h`: `(index, Some(code))` on a verified
+    /// hit, `(index, None)` at the free slot where an insert belongs.
+    fn probe(&self, h: u64, eq: impl Fn(u32) -> bool) -> (usize, Option<u32>) {
+        let mask = self.slots.len() - 1;
+        let mut idx = (h as usize) & mask;
+        loop {
+            let (sh, row, code) = self.slots[idx];
+            if row == DICT_FREE {
+                return (idx, None);
+            }
+            if sh == h && eq(row) {
+                return (idx, Some(code));
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Insert at the probe slot returned by [`Self::probe`], growing
+    /// the table 8x when load passes ~70%.
+    fn insert(&mut self, idx: usize, h: u64, row: u32, code: u32) {
+        self.slots[idx] = (h, row, code);
+        self.len += 1;
+        if self.len * 10 >= self.slots.len() * 7 {
+            let grown = vec![(0, DICT_FREE, 0); (self.slots.len() * 8).min(131_072)];
+            let old = std::mem::replace(&mut self.slots, grown);
+            let mask = self.slots.len() - 1;
+            for entry in old {
+                if entry.1 == DICT_FREE {
+                    continue;
+                }
+                let mut j = (entry.0 as usize) & mask;
+                while self.slots[j].1 != DICT_FREE {
+                    j = (j + 1) & mask;
+                }
+                self.slots[j] = entry;
+            }
+        }
     }
 }
 
@@ -425,39 +530,110 @@ pub fn encode_column(col: &ColumnData, enc: Encoding) -> Result<Vec<u8>> {
         }
         Encoding::Dict => {
             let n = col.len();
-            // Build the dictionary in first-seen order.
-            let mut index_of: std::collections::HashMap<Vec<u8>, u32> =
-                std::collections::HashMap::new();
+            // One-pass dictionary build in first-seen order: slots hash
+            // and compare in place over the raw column payload, so the
+            // loop never serializes a row that was already seen and
+            // never owns key bytes. The dictionary payload is written
+            // once, at each code's first occurrence — byte-identical to
+            // the old serialize-every-row build.
+            let mut dict = SlotDict::with_capacity(n);
             let mut dict_w = Writer::new();
             let mut codes: Vec<u32> = Vec::with_capacity(n);
             let mut dict_len = 0u32;
-            for i in 0..n {
-                let mut one = Writer::new();
-                write_one(col, i, &mut one);
-                let key = one.into_bytes();
-                let code = *index_of.entry(key.clone()).or_insert_with(|| {
-                    dict_w.put_raw(&key);
-                    let c = dict_len;
-                    dict_len += 1;
-                    c
-                });
-                if dict_len > 65_536 {
-                    return Err(RsError::Unsupported(
-                        "dictionary overflow (> 65536 distinct values)".into(),
-                    ));
+            // One `match` on the variant, then a fully typed loop: the
+            // per-row hash / equality / dictionary-entry emission all
+            // see concrete slices (no per-row enum dispatch).
+            macro_rules! build {
+                ($hash:expr, $eq:expr, $emit:expr) => {
+                    for i in 0..n {
+                        let h = $hash(i);
+                        let (idx, hit) = dict.probe(h, |row| $eq(row as usize, i));
+                        let code = match hit {
+                            Some(c) => c,
+                            None => {
+                                // Early exit *before* admitting the
+                                // 65,537th distinct value, not after a
+                                // wasted insert.
+                                if dict_len == 65_536 {
+                                    return Err(RsError::Unsupported(
+                                        "dictionary overflow (> 65536 distinct values)".into(),
+                                    ));
+                                }
+                                let c = dict_len;
+                                $emit(i, &mut dict_w);
+                                dict.insert(idx, h, i as u32, c);
+                                dict_len += 1;
+                                c
+                            }
+                        };
+                        codes.push(code);
+                    }
+                };
+            }
+            use redsim_common::mix64;
+            match col {
+                ColumnData::Bool { data, .. } => build!(
+                    |i: usize| mix64(data[i] as u64),
+                    |a: usize, b: usize| data[a] == data[b],
+                    |i: usize, w: &mut Writer| w.put_u8(data[i] as u8)
+                ),
+                ColumnData::Int2 { data, .. } => build!(
+                    |i: usize| mix64(data[i] as u64),
+                    |a: usize, b: usize| data[a] == data[b],
+                    |i: usize, w: &mut Writer| w.put_raw(&data[i].to_le_bytes())
+                ),
+                ColumnData::Int4 { data, .. } | ColumnData::Date { data, .. } => build!(
+                    |i: usize| mix64(data[i] as u64),
+                    |a: usize, b: usize| data[a] == data[b],
+                    |i: usize, w: &mut Writer| w.put_i32(data[i])
+                ),
+                ColumnData::Int8 { data, .. } | ColumnData::Timestamp { data, .. } => build!(
+                    |i: usize| mix64(data[i] as u64),
+                    |a: usize, b: usize| data[a] == data[b],
+                    |i: usize, w: &mut Writer| w.put_i64(data[i])
+                ),
+                ColumnData::Float8 { data, .. } => build!(
+                    |i: usize| mix64(data[i].to_bits()),
+                    |a: usize, b: usize| data[a].to_bits() == data[b].to_bits(),
+                    |i: usize, w: &mut Writer| w.put_f64(data[i])
+                ),
+                ColumnData::Decimal { data, .. } => build!(
+                    |i: usize| mix64(data[i] as u128 as u64 ^ mix64((data[i] >> 64) as u64)),
+                    |a: usize, b: usize| data[a] == data[b],
+                    |i: usize, w: &mut Writer| w.put_i128(data[i])
+                ),
+                ColumnData::Str { data, .. } => {
+                    let (off, bytes) = data.raw_parts();
+                    let at = |i: usize| &bytes[off[i] as usize..off[i + 1] as usize];
+                    build!(
+                        |i: usize| hash_bytes(at(i)),
+                        |a: usize, b: usize| at(a) == at(b),
+                        // Matches `write_one`'s `put_str`: u32 length
+                        // prefix + raw bytes (already valid UTF-8).
+                        |i: usize, w: &mut Writer| {
+                            let s = at(i);
+                            w.put_u32(s.len() as u32);
+                            w.put_raw(s);
+                        }
+                    )
                 }
-                codes.push(code);
             }
             payload.put_u32(dict_len);
             payload.put_bytes(&dict_w.into_bytes());
             let wide = dict_len > 256;
             payload.put_bool(wide);
-            for c in codes {
-                if wide {
-                    payload.put_u16(c as u16);
-                } else {
-                    payload.put_u8(c as u8);
+            // Bulk-narrow the code stream (same bytes as per-code
+            // `put_u8`/`put_u16` LE, but one extend instead of n calls;
+            // the u32 -> u8 narrowing loop auto-vectorizes).
+            if wide {
+                let mut buf = Vec::with_capacity(codes.len() * 2);
+                for c in &codes {
+                    buf.extend_from_slice(&(*c as u16).to_le_bytes());
                 }
+                payload.put_raw(&buf);
+            } else {
+                let buf: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+                payload.put_raw(&buf);
             }
         }
         Encoding::Delta => {
@@ -765,6 +941,83 @@ mod tests {
         let many: Vec<String> = (0..300).map(|i| format!("v{}", i % 300)).collect();
         let col = str_col(&many.iter().map(|s| Some(s.as_str())).collect::<Vec<_>>());
         roundtrip(&col, Encoding::Dict);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_eq_str_panics_out_of_range() {
+        // Regression: the Str arm must index the offset table strictly,
+        // like every fixed-width arm, so a bad row index can never
+        // compare "equal" and silently fuse an RLE run or dict code.
+        let col = str_col(&[Some("a"), Some("b")]);
+        slot_eq(&col, 0, 2);
+    }
+
+    #[test]
+    fn slot_eq_str_compares_bytes() {
+        let col = str_col(&[Some("abc"), Some("abc"), Some("abd"), None, None]);
+        assert!(slot_eq(&col, 0, 1));
+        assert!(!slot_eq(&col, 1, 2));
+        // NULL slots hold the default (empty) payload and compare equal.
+        assert!(slot_eq(&col, 3, 4));
+    }
+
+    #[test]
+    fn dict_one_pass_first_seen_order_and_float_bits() {
+        // Codes are assigned in first-seen order, and floats are
+        // dictionary-keyed by bit pattern: NaN deduplicates against an
+        // identical NaN, and -0.0 stays distinct from 0.0.
+        let mut c = ColumnData::new(DataType::Float8);
+        for v in [f64::NAN, 0.0, -0.0, f64::NAN, 0.0, f64::NAN] {
+            c.push_value(&Value::Float8(v)).unwrap();
+        }
+        let bytes = encode_column(&c, Encoding::Dict).unwrap();
+        let back = decode_column(&bytes, Some(DataType::Float8)).unwrap();
+        for i in 0..c.len() {
+            let (a, b) = match (&c, &back) {
+                (
+                    ColumnData::Float8 { data: x, .. },
+                    ColumnData::Float8 { data: y, .. },
+                ) => (x[i], y[i]),
+                _ => unreachable!(),
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        // 3 distinct bit patterns (NaN, 0.0, -0.0), narrow u8 codes.
+        let dict = encode_column(&c, Encoding::Dict).unwrap();
+        let raw = encode_column(&c, Encoding::Raw).unwrap();
+        assert!(dict.len() < raw.len());
+    }
+
+    #[test]
+    fn rle_float_nan_runs_by_bit_pattern() {
+        // slot_eq compares floats by bit pattern, so identical NaNs fuse
+        // into one run and the decode restores the exact bits.
+        let mut c = ColumnData::new(DataType::Float8);
+        for v in [f64::NAN, f64::NAN, f64::NAN, 0.0, -0.0, -0.0] {
+            c.push_value(&Value::Float8(v)).unwrap();
+        }
+        let bytes = encode_column(&c, Encoding::Rle).unwrap();
+        let back = decode_column(&bytes, Some(DataType::Float8)).unwrap();
+        for i in 0..c.len() {
+            let (a, b) = match (&c, &back) {
+                (
+                    ColumnData::Float8 { data: x, .. },
+                    ColumnData::Float8 { data: y, .. },
+                ) => (x[i], y[i]),
+                _ => unreachable!(),
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn dict_overflow_exits_before_admitting_extra_entry() {
+        // Exactly 65,536 distinct values fits; 65,537 must fail.
+        let ok: Vec<Option<i64>> = (0..65_536).map(Some).collect();
+        assert!(encode_column(&int_col(&ok, DataType::Int8), Encoding::Dict).is_ok());
+        let over: Vec<Option<i64>> = (0..65_537).map(Some).collect();
+        assert!(encode_column(&int_col(&over, DataType::Int8), Encoding::Dict).is_err());
     }
 
     #[test]

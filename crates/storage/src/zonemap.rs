@@ -258,6 +258,58 @@ mod tests {
         assert_eq!(zm, rt);
     }
 
+    fn fcol(vals: &[Option<f64>]) -> ColumnData {
+        let mut c = ColumnData::new(DataType::Float8);
+        for v in vals {
+            match v {
+                Some(x) => c.push_value(&Value::Float8(*x)).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn float_nan_zone_map_build_and_overlap() {
+        // cmp_sql orders NaN greater than every finite float, so a block
+        // containing NaN has max = NaN and never prunes an upper-open
+        // range probe.
+        let zm = ZoneMap::build(&fcol(&[Some(1.0), Some(f64::NAN), Some(-2.0), None]));
+        assert_eq!(zm.min.as_ref().unwrap().as_f64(), Some(-2.0));
+        assert!(matches!(zm.max, Some(Value::Float8(x)) if x.is_nan()));
+        assert_eq!(zm.null_count, 1);
+        assert!(zm.may_contain(&Value::Float8(f64::NAN)), "NaN probe hits NaN max");
+        assert!(zm.may_overlap(Some(&Value::Float8(1e300)), None), "NaN max blocks hi-open pruning");
+        assert!(!zm.may_overlap(None, Some(&Value::Float8(-3.0))), "min still prunes below");
+
+        // A NaN-free block prunes a NaN equality probe: max < NaN.
+        let finite = ZoneMap::build(&fcol(&[Some(1.0), Some(2.0)]));
+        assert!(!finite.may_contain(&Value::Float8(f64::NAN)));
+    }
+
+    #[test]
+    fn float_nan_zone_map_merge_and_codec() {
+        let a = ZoneMap::build(&fcol(&[Some(1.0), Some(2.0)]));
+        let b = ZoneMap::build(&fcol(&[Some(f64::NAN)]));
+        let m = a.merge(&b);
+        assert_eq!(m.min.as_ref().unwrap().as_f64(), Some(1.0));
+        assert!(matches!(m.max, Some(Value::Float8(x)) if x.is_nan()));
+        assert_eq!((m.rows, m.null_count), (3, 0));
+
+        // Encode/decode keeps the exact NaN bit pattern.
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let rt = ZoneMap::decode(&mut Reader::new(&bytes)).unwrap();
+        let (orig, back) = match (&m.max, &rt.max) {
+            (Some(Value::Float8(x)), Some(Value::Float8(y))) => (*x, *y),
+            other => panic!("expected Float8 maxes, got {other:?}"),
+        };
+        assert_eq!(orig.to_bits(), back.to_bits());
+        assert_eq!(rt.min, m.min);
+        assert_eq!((rt.rows, rt.null_count), (m.rows, m.null_count));
+    }
+
     #[test]
     fn string_zone_maps() {
         let mut c = ColumnData::new(DataType::Varchar);
